@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/propositions
+(experiment ids F1-F4, P4-P7, T1, T2, A1-A4 — see DESIGN.md §3), prints
+the regenerated table, and archives it under ``benchmarks/results/``.
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def archive(exp_id: str, report: str) -> None:
+    """Print the regenerated table and store it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+
+def bench_once(benchmark, func):
+    """Run a deterministic macro-experiment exactly once under the
+    benchmark timer (repetition would only re-measure the same run)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

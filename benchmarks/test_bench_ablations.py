@@ -1,0 +1,30 @@
+"""Benchmark A1-A4 — the design-choice ablations."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark):
+    report = bench_once(benchmark, ablations.main)
+    archive("A1-A4", report)
+
+    a1 = ablations.run_a1_colors(seeds=range(8))
+    assert a1["losses_with_colors"] == 0
+    assert a1["losses_without_colors"] > 0
+
+    a2 = ablations.run_a2_fairness(stream_lengths=(2, 12))
+    fifo = {r["competing_stream"]: r["victim_delivered_at_step"] for r in a2 if r["policy"] == "fifo"}
+    fixed = {r["competing_stream"]: r["victim_delivered_at_step"] for r in a2 if r["policy"] == "fixed"}
+    # FIFO's bypass is bounded (latency roughly flat); fixed grows.
+    assert fifo[12] - fifo[2] <= 10
+    assert fixed[12] - fixed[2] >= 30
+
+    a3 = ablations.run_a3_r5()
+    by = {r["ablation"]: r for r in a3}
+    assert not by["A3 R5 enabled"]["wedged"]
+    assert by["A3 R5 disabled"]["wedged"]
+
+    a4 = ablations.run_a4_literal_r5(seeds=range(10))
+    assert a4["losses_corrected"] == 0
+    assert a4["losses_literal"] > 0

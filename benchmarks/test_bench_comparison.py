@@ -1,0 +1,21 @@
+"""Benchmark T1 — SSMFP vs the classical scheme under corruption."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import comparison
+
+
+def test_bench_comparison(benchmark):
+    report = bench_once(benchmark, comparison.main)
+    archive("T1", report)
+    rows = comparison.run_comparison(seeds=(1, 2, 3))
+    by_key = {(r["protocol"], r["tables"]): r for r in rows}
+    # SSMFP: spotless in both regimes.
+    for tables in ("correct", "corrupted"):
+        row = by_key[("ssmfp", tables)]
+        assert row["violations"] == 0
+        assert row["losses"] == 0
+        assert row["undelivered"] == 0
+    # The naive shared-memory port of the classical scheme duplicates.
+    assert by_key[("ms-split", "correct")]["duplications"] > 0
+    assert by_key[("ms-split", "corrupted")]["duplications"] > 0

@@ -1,0 +1,23 @@
+"""Benchmark X7 — burst drain under growing offered load."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import congestion
+
+
+def test_bench_congestion(benchmark):
+    report = bench_once(benchmark, congestion.main)
+    archive("X7", report)
+    rows = congestion.run_congestion(loads=(8, 32), seeds=(1,))
+    for r in rows:
+        assert r["delivered"] == r["offered"]  # nothing lost under load
+    # Amortized cost does not blow up as load quadruples.
+    for topology in ("ring", "grid"):
+        for pattern in ("uniform", "hotspot"):
+            series = [
+                r
+                for r in rows
+                if r["topology"] == topology and r["pattern"] == pattern
+            ]
+            small, big = series[0], series[-1]
+            assert big["amortized"] <= 2 * small["amortized"] + 1

@@ -1,0 +1,93 @@
+"""Engine micro-benchmarks: raw simulator throughput.
+
+Unlike the experiment benchmarks (one deterministic macro-run each), these
+time the hot paths for real — guard evaluation, step application, queue
+reconciliation — so regressions in the engine show up as timing changes.
+"""
+
+import pytest
+
+from repro.app.workload import hotspot_workload, uniform_workload
+from repro.network.topologies import grid_network, ring_network
+from repro.sim.runner import build_simulation, delivered_and_drained
+from repro.statemodel.daemon import SynchronousDaemon
+
+
+def drive_to_completion(net_builder, workload_builder, **build_kwargs):
+    def run():
+        net = net_builder()
+        sim = build_simulation(
+            net, workload=workload_builder(net), seed=1, **build_kwargs
+        )
+        sim.run(1_000_000, halt=delivered_and_drained)
+        return sim.sim.step_count
+
+    return run
+
+
+def test_bench_engine_hotspot_ring16(benchmark):
+    steps = benchmark(
+        drive_to_completion(
+            lambda: ring_network(16),
+            lambda net: hotspot_workload(net.n, dest=0, per_source=2, seed=1),
+            routing_mode="static",
+        )
+    )
+    assert steps > 0
+
+
+def test_bench_engine_uniform_grid(benchmark):
+    steps = benchmark(
+        drive_to_completion(
+            lambda: grid_network(4, 4),
+            lambda net: uniform_workload(net.n, 24, seed=1),
+            routing_mode="static",
+        )
+    )
+    assert steps > 0
+
+
+def test_bench_engine_corrupted_recovery(benchmark):
+    steps = benchmark(
+        drive_to_completion(
+            lambda: ring_network(12),
+            lambda net: uniform_workload(net.n, 12, seed=1),
+            routing_corruption={"kind": "worst", "seed": 1},
+            garbage={"fraction": 0.3, "seed": 1},
+        )
+    )
+    assert steps > 0
+
+
+def test_bench_engine_synchronous_steps(benchmark):
+    # Pure stepping cost: synchronous daemon, fixed number of steps.
+    def run():
+        net = ring_network(16)
+        sim = build_simulation(
+            net,
+            workload=hotspot_workload(net.n, dest=0, per_source=4, seed=2),
+            daemon=SynchronousDaemon(),
+            routing_mode="static",
+            seed=2,
+        )
+        for _ in range(100):
+            sim.step()
+        return sim.sim.step_count
+
+    assert benchmark(run) == 100
+
+
+def test_bench_routing_convergence(benchmark):
+    from repro.routing.corruption import corrupt_worst_case
+    from repro.routing.selfstab_bfs import SelfStabilizingBFSRouting
+    from repro.statemodel.scheduler import Simulator
+
+    def run():
+        net = grid_network(4, 4)
+        routing = SelfStabilizingBFSRouting(net)
+        corrupt_worst_case(routing, seed=3)
+        sim = Simulator(net.n, routing, SynchronousDaemon())
+        sim.run(100_000)
+        return sim.step_count
+
+    assert benchmark(run) > 0

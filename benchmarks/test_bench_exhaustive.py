@@ -1,0 +1,17 @@
+"""Benchmark X5 — exhaustive model checking."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import exhaustive
+
+
+def test_bench_exhaustive(benchmark):
+    report = bench_once(benchmark, exhaustive.main)
+    archive("X5", report)
+    rows = exhaustive.run_exhaustive()
+    safe = [r for r in rows if r["expected"] == "safe"]
+    buggy = [r for r in rows if r["expected"] == "counterexample"]
+    assert safe and all(r["violations"] == 0 for r in safe)
+    assert buggy and all(r["violations"] > 0 for r in buggy)
+    # Every instance has exactly one fully-drained terminal configuration.
+    assert all(r["terminal"] == 1 for r in safe)

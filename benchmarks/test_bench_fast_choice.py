@@ -1,0 +1,19 @@
+"""Benchmark X2 — the future-work faster choice scheme."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import fast_choice
+
+
+def test_bench_fast_choice(benchmark):
+    report = bench_once(benchmark, fast_choice.main)
+    archive("X2", report)
+    rows = fast_choice.run_fast_choice(sizes=(10,), loads=(4,), seeds=(1, 2))
+    fifo = next(r for r in rows if r["policy"] == "fifo")
+    aged = next(r for r in rows if r["policy"] == "aged")
+    aged_fair = next(r for r in rows if r["policy"] == "aged_fair")
+    # Age priority must help under contention (strictly fewer rounds for
+    # the probe) without breaking exactly-once (checked inside run_one),
+    # and the starvation-free fix must keep the advantage.
+    assert aged["probe_rounds"] < fifo["probe_rounds"]
+    assert aged_fair["probe_rounds"] < fifo["probe_rounds"]

@@ -1,0 +1,18 @@
+"""Benchmark F1 — regenerate Figure 1 (destination-based buffer graph)."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    report = bench_once(benchmark, fig1.main)
+    archive("F1", report)
+    rows = fig1.run_fig1()
+    correct = [r for r in rows if "corrupted" not in str(r["destination"])]
+    # The figure's claims: one tree-shaped acyclic component per destination.
+    assert len(correct) == 5
+    assert all(r["tree_shaped"] and r["acyclic"] for r in correct)
+    # The corrupted contrast contains a cycle.
+    bad = [r for r in rows if "corrupted" in str(r["destination"])]
+    assert bad and not bad[0]["acyclic"]

@@ -1,0 +1,18 @@
+"""Benchmark F2 — regenerate Figure 2 (SSMFP two-buffer graph)."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark):
+    report = bench_once(benchmark, fig2.main)
+    archive("F2", report)
+    rows = fig2.run_fig2()
+    correct = [r for r in rows if r["tables"] == "correct"][0]
+    assert correct["buffers"] == 10  # 2 per processor
+    assert correct["internal_edges"] == 5
+    assert correct["forward_edges"] == 4
+    assert correct["acyclic"]
+    corrupted = [r for r in rows if r["tables"] != "correct"][0]
+    assert not corrupted["acyclic"]

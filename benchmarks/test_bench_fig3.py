@@ -1,0 +1,16 @@
+"""Benchmark F3 — replay Figure 3's worked execution."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark):
+    report_text = bench_once(benchmark, fig3.main)
+    archive("F3", report_text)
+    report = fig3.run_fig3()
+    # 16 configurations (0..15) recorded, three deliveries, all narrated
+    # checkpoints held (run_fig3 would have raised otherwise).
+    assert len(report.configurations) == 16
+    assert len(report.deliveries) == 3
+    assert len(report.checks) >= 12

@@ -1,0 +1,16 @@
+"""Benchmark F4 — regenerate Figure 4's caterpillar cases."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    report = bench_once(benchmark, fig4.main)
+    archive("F4", report)
+    cases = fig4.run_fig4_cases()
+    assert [r["classified"] for r in cases] == [1, 1, 2, 3]
+    evolution = fig4.run_fig4_evolution()
+    # The execution delivers all three messages in the observed window.
+    assert evolution[-1]["delivered"] <= 3
+    assert any(r["type3"] > 0 for r in evolution)

@@ -1,0 +1,18 @@
+"""Benchmark X3 — the message-passing port."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import message_passing
+
+
+def test_bench_message_passing(benchmark):
+    report = bench_once(benchmark, message_passing.main)
+    archive("X3", report)
+    result = message_passing.run_message_passing(seeds=(1,))
+    for row in result["clean"]:
+        assert row["delivered_once"] == row["messages"]
+        # The handshake costs exactly 3 wire messages per hop.
+        assert row["wire_per_hop"] == 3.0
+    for row in result["corrupted"]:
+        assert row["starved"] == 1        # the open problem, measured
+        assert row["safety_violations"] == 0

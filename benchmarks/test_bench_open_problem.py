@@ -1,0 +1,25 @@
+"""Benchmark X1 — the §4 open problem's buffer-count gap."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import open_problem
+
+
+def test_bench_open_problem(benchmark):
+    report = bench_once(benchmark, open_problem.main)
+    archive("X1", report)
+    rows = open_problem.run_open_problem()
+    by = {r["topology"]: r for r in rows}
+    # The paper's cited exact values.
+    assert by["random_tree(9)"]["orientation_cover_per_proc"] == 2
+    assert by["ring(8)"]["orientation_cover_per_proc"] == 3
+    assert by["ring(12)"]["orientation_cover_per_proc"] == 3
+    # SSMFP always costs 2n; the cover scheme never more than the
+    # destination-based scheme in these cases.
+    for r in rows:
+        assert r["ssmfp_buffers_per_proc"] == 2 * r["n"]
+        assert r["orientation_cover_per_proc"] <= r["dest_based_per_proc"]
+    # The scheme actually runs at those counts: exactly-once everywhere.
+    for case in ("ring(8)", "grid(3x3)"):
+        live = open_problem.run_live(case)
+        assert live["delivered_once"] == live["messages"]

@@ -1,0 +1,19 @@
+"""Benchmark T2 — the over-cost of snap-stabilization."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import overhead
+
+
+def test_bench_overhead(benchmark):
+    report = bench_once(benchmark, overhead.main)
+    archive("T2", report)
+    rows = overhead.run_overhead(seeds=(1, 2))
+    ratios = [r for r in rows if r["protocol"] == "ratio ssmfp/ms"]
+    assert ratios
+    for r in ratios:
+        # The paper's "no significant over cost": a small constant factor,
+        # not an asymptotic gap.
+        assert r["buffers_total"] == 2.0
+        assert r["moves_per_msg"] is not None and r["moves_per_msg"] < 5
+        assert r["steps"] is not None and r["steps"] < 6

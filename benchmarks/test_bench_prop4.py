@@ -1,0 +1,14 @@
+"""Benchmark P4 — Proposition 4's 2n invalid-delivery bound."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import prop4
+
+
+def test_bench_prop4(benchmark):
+    report = bench_once(benchmark, prop4.main)
+    archive("P4", report)
+    rows = prop4.run_prop4(seeds=(1, 2), sizes=(4, 8))
+    # The bound holds everywhere and the adversary can saturate it.
+    assert all(r["within_bound"] for r in rows)
+    assert any(r["ratio"] == 1.0 for r in rows)

@@ -1,0 +1,18 @@
+"""Benchmark P5 — Proposition 5's delivery-time bound."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import prop5
+
+
+def test_bench_prop5(benchmark):
+    report = bench_once(benchmark, prop5.main)
+    archive("P5", report)
+    rows = prop5.run_prop5(seeds=(1, 2))
+    assert all(r["within"] for r in rows)
+    # Probe always needs at least D rounds (it crosses the diameter).
+    assert all(r["probe_rounds"] >= r["D"] for r in rows)
+    # Corrupted-tables runs are never faster than an R_A of zero would be:
+    # the stabilization time was actually measured.
+    corrupted = [r for r in rows if r["tables"] == "corrupted"]
+    assert all(r["R_A_rounds"] is not None and r["R_A_rounds"] > 0 for r in corrupted)

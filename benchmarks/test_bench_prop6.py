@@ -1,0 +1,16 @@
+"""Benchmark P6 — Proposition 6's delay and waiting-time bound."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import prop6
+
+
+def test_bench_prop6(benchmark):
+    report = bench_once(benchmark, prop6.main)
+    archive("P6", report)
+    rows = prop6.run_prop6(seeds=(1, 2))
+    assert all(r["within"] for r in rows)
+    # Saturation makes waiting real: some topology exhibits a nonzero
+    # maximum waiting time in every regime.
+    assert all(r["generated"] >= 4 for r in rows)
+    assert any(r["max_wait_rounds"] > 0 for r in rows)

@@ -1,0 +1,16 @@
+"""Benchmark P7 — Proposition 7's amortized complexity."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import prop7
+
+
+def test_bench_prop7(benchmark):
+    report = bench_once(benchmark, prop7.main)
+    archive("P7", report)
+    rows = prop7.run_prop7(seeds=(1,), sizes=(6, 14))
+    # Amortized cost stays far below the per-message worst case Delta^D...
+    big = [r for r in rows if r["n"] == 14]
+    assert all(r["amortized_rounds"] < r["delta^D"] / 10 for r in big)
+    # ...and within a small multiple of D (the O(max(R_A, D)) shape).
+    assert all(r["amortized_rounds"] <= 3 * r["D"] + 3 for r in rows)

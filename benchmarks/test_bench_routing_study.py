@@ -1,0 +1,24 @@
+"""Benchmark X6 — the substrate's stabilization time R_A."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import routing_study
+
+
+def test_bench_routing_study(benchmark):
+    report = bench_once(benchmark, routing_study.main)
+    archive("X6", report)
+    rows = routing_study.run_routing_study(sizes=(6, 12), seeds=(1,))
+    # Convergence always happened (run_one asserts) and stays polynomial:
+    # within the count-to-cap O(n^2) envelope everywhere.
+    for r in rows:
+        assert r["R_A_rounds"] <= r["n"] ** 2
+    # Bigger instances take more rounds within each family/daemon.
+    for family in ("line", "ring"):
+        for daemon in ("synchronous", "distributed"):
+            series = [
+                r["R_A_rounds"]
+                for r in rows
+                if r["family"] == family and r["daemon"] == daemon
+            ]
+            assert series == sorted(series)

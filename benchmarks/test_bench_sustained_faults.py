@@ -1,0 +1,18 @@
+"""Benchmark X4 — sustained transient faults."""
+
+from conftest import archive, bench_once
+
+from repro.experiments import sustained_faults
+
+
+def test_bench_sustained_faults(benchmark):
+    report = bench_once(benchmark, sustained_faults.main)
+    archive("X4", report)
+    rows = sustained_faults.run_sustained_faults(seeds=(1,))
+    # Safety never breaks under any fault pressure.
+    assert all(r["violations"] == 0 for r in rows)
+    assert all(r["delivered"] == 16 for r in rows)
+    # Heavier fault pressure costs strictly more rounds on each topology.
+    for topology in ("ring", "grid"):
+        slowdowns = [r["slowdown"] for r in rows if r["topology"] == topology]
+        assert slowdowns[-1] > slowdowns[0]

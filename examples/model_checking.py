@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Exhaustive verification, live: watch the checker prove — and disprove.
+
+Runs the model checker over a tiny instance three times:
+
+1. the paper's protocol (corrected R5): every reachable configuration is
+   safe, every terminal configuration delivered everything;
+2. the *printed* R5 (no ``q != p``): the checker finds the erratum's
+   counterexample — a concrete execution losing a valid message;
+3. colors disabled: the checker finds the losses the color flag prevents.
+
+Run:  python examples/model_checking.py        (about a second)
+"""
+
+from repro.app.higher_layer import HigherLayer
+from repro.core.ledger import DeliveryLedger
+from repro.core.protocol import SSMFP
+from repro.network.topologies import line_network
+from repro.routing.static import StaticRouting
+from repro.verify import ModelChecker
+
+
+def make_instance(**options):
+    def factory():
+        net = line_network(3)
+        proto = SSMFP(
+            net, StaticRouting(net), HigherLayer(net.n), DeliveryLedger(),
+            **options,
+        )
+        proto.hl.submit(0, "dup", 2)
+        proto.hl.submit(0, "dup", 2)
+        return proto
+
+    return factory
+
+
+def main() -> None:
+    cases = [
+        ("paper protocol (corrected R5)", {}),
+        ("printed R5 (erratum)", {"r5_literal": True}),
+        ("colors disabled (ablation A1)", {"enable_colors": False}),
+    ]
+    print("instance: 3-processor line, two same-payload messages 0 -> 2\n")
+    for name, options in cases:
+        result = ModelChecker(
+            make_instance(**options), max_selection_width=4000
+        ).run()
+        print(f"{name}:")
+        print(
+            f"  explored {result.states} configurations, "
+            f"{result.transitions} transitions, "
+            f"{result.terminal_states} terminal"
+        )
+        if result.ok:
+            print("  SAFE in every reachable configuration (exhaustive)")
+        else:
+            print(f"  counterexamples found: {len(result.violations)}")
+            print(f"  first: {result.violations[0]}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

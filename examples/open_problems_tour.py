@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""A tour of the paper's §4 conclusion, made executable.
+
+Three stops:
+
+1. **The open problem** (X1): how many buffers per processor could a
+   snap-stabilizing protocol hope to use?  The fault-free
+   acyclic-orientation-cover scheme needs only 2 on trees and 3 on rings
+   (vs SSMFP's 2n) — the gap the open problem asks about.
+2. **Faster worst case** (X2): changing ``choice_p(d)`` from FIFO to
+   age-priority — the paper's suggested direction — measurably cuts the
+   worst-case probe latency under contention.
+3. **The message-passing model** (X3): the forwarding scheme ported to
+   explicit OFFER/ACCEPT/RELEASE handshakes works perfectly from clean
+   starts, and a single piece of channel garbage wedges it — why the
+   snap-stabilizing port is still open.
+
+Run:  python examples/open_problems_tour.py     (a few seconds)
+"""
+
+from repro.experiments.fast_choice import main as x2_main
+from repro.experiments.message_passing import main as x3_main
+from repro.experiments.open_problem import main as x1_main
+
+
+def main() -> None:
+    print(x1_main())
+    print()
+    print(x2_main(sizes=(8,), loads=(4,), seeds=(1, 2)))
+    print()
+    print(x3_main(seeds=(1,)))
+
+
+if __name__ == "__main__":
+    main()

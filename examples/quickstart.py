@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: exactly-once message forwarding from a corrupted start.
+
+Builds the paper's full stack — a network, the self-stabilizing routing
+protocol ``A`` (composed with priority), the SSMFP forwarding core, and a
+higher layer — starts it from an adversarial initial configuration
+(fully corrupted routing tables, garbage in half the buffers, scrambled
+fairness queues), submits a workload, and shows that every message is
+delivered exactly once while the system repairs itself underneath.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_simulation, delivered_and_drained
+from repro.app import uniform_workload
+from repro.network import ring_network
+from repro.routing.analysis import next_hop_cycles
+
+
+def main() -> None:
+    net = ring_network(8)
+    workload = uniform_workload(net.n, count=24, seed=42)
+
+    sim = build_simulation(
+        net,
+        workload=workload,
+        routing_corruption={"kind": "random", "fraction": 1.0, "seed": 42},
+        garbage={"fraction": 0.5, "seed": 42},
+        scramble_choice_queues=True,
+        seed=42,
+    )
+
+    cycles = [
+        cycle
+        for d in net.processors()
+        for cycle in next_hop_cycles(net, sim.routing, d)
+    ]
+    print(f"network: ring of {net.n} processors")
+    print(f"initial routing state: corrupted, {len(cycles)} routing cycles")
+    print(f"initial buffers: {sim.forwarding.bufs.total_occupied()} filled with garbage")
+    print(f"workload: {workload.size} messages")
+    print()
+
+    result = sim.run(200_000, halt=delivered_and_drained)
+
+    ledger = sim.ledger
+    print(f"finished after {result.steps} steps / {result.rounds} rounds")
+    print(f"generated:            {ledger.generated_count}")
+    print(f"delivered once:       {ledger.valid_delivered_count}")
+    print(f"duplications/losses:  0 (a strict ledger would have raised)")
+    print(f"invalid garbage also delivered: {ledger.invalid_delivery_count}")
+    print(f"routing tables now correct: {sim.routing.is_correct()}")
+    assert ledger.all_valid_delivered()
+    print("\nOK: snap-stabilizing exactly-once delivery from a corrupted start")
+
+
+if __name__ == "__main__":
+    main()

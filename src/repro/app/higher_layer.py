@@ -1,0 +1,130 @@
+"""The higher layer: outboxes, the ``request_p`` handshake, delivery sink.
+
+Semantics follow §3.2 of the paper:
+
+* the higher layer may set ``request_p`` to true only when it is false and a
+  message is waiting; it then *blocks* until the protocol resets it (done by
+  rule R1 when the message is generated);
+* ``nextMessage_p`` / ``nextDestination_p`` expose the waiting message;
+* ``deliver_p(m)`` hands a message up at its destination.
+
+One deliberate substitution (documented in DESIGN.md): a message submitted
+to *itself* (``dest == p``) is delivered locally at submission time and
+never enters the network.  Point-to-point forwarding between distinct
+endpoints is the paper's object; routing a self-addressed message through a
+corrupted table would let the environment inject traffic the paper's proofs
+never consider.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.statemodel.message import Message
+from repro.types import DestId, ProcId
+
+#: A pending send: (payload, destination).
+Pending = Tuple[Any, DestId]
+
+
+class HigherLayer:
+    """Per-processor outboxes with the paper's blocking request handshake.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    on_deliver:
+        Optional callback ``(pid, message, step)`` invoked at every
+        delivery, *in addition* to the internal log (the ledger hooks in
+        here).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        on_deliver: Optional[Callable[[ProcId, Message, int], None]] = None,
+    ) -> None:
+        self._n = n
+        self._outbox: List[Deque[Pending]] = [deque() for _ in range(n)]
+        #: The shared variable ``request_p`` read by rule R1.
+        self.request: List[bool] = [False] * n
+        self._on_deliver = on_deliver
+        self._delivered: List[Tuple[ProcId, Message, int]] = []
+        self._local_deliveries = 0
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, p: ProcId, payload: Any, dest: DestId, step: int = -1) -> None:
+        """Queue a send of ``payload`` from ``p`` to ``dest``.
+
+        Self-addressed messages are delivered locally immediately (see
+        module docstring).
+        """
+        if not (0 <= p < self._n and 0 <= dest < self._n):
+            raise ConfigurationError(
+                f"submit({p} -> {dest}) out of range for n={self._n}"
+            )
+        if dest == p:
+            self._local_deliveries += 1
+            return
+        self._outbox[p].append((payload, dest))
+
+    def pending_count(self, p: ProcId) -> int:
+        """Messages still waiting in ``p``'s outbox (including the one a
+        raised request refers to)."""
+        return len(self._outbox[p])
+
+    def total_pending(self) -> int:
+        """Outstanding submissions across all processors."""
+        return sum(len(box) for box in self._outbox)
+
+    # -- the request handshake (rule R1's counterpart) ---------------------------
+
+    def before_step(self, step: int) -> None:
+        """Environment move: raise ``request_p`` wherever it is false and a
+        message waits (the paper lets the higher layer do this at any time;
+        doing it every step is the maximally eager environment)."""
+        for p in range(self._n):
+            if not self.request[p] and self._outbox[p]:
+                self.request[p] = True
+
+    def next_message(self, p: ProcId) -> Any:
+        """The paper's ``nextMessage_p`` macro (payload of the waiting
+        message)."""
+        return self._outbox[p][0][0]
+
+    def next_destination(self, p: ProcId) -> Optional[DestId]:
+        """The paper's ``nextDestination_p`` macro; None when nothing
+        waits."""
+        return self._outbox[p][0][1] if self._outbox[p] else None
+
+    def consume_request(self, p: ProcId) -> Pending:
+        """Rule R1's write-back: pop the waiting message and lower
+        ``request_p``.  Returns the (payload, dest) that was generated."""
+        if not self._outbox[p]:
+            raise ConfigurationError(f"consume_request({p}) with empty outbox")
+        item = self._outbox[p].popleft()
+        self.request[p] = False
+        return item
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, p: ProcId, message: Message, step: int) -> None:
+        """The paper's ``deliver_p(m)``: hand ``message`` to the application
+        at ``p``."""
+        self._delivered.append((p, message, step))
+        if self._on_deliver is not None:
+            self._on_deliver(p, message, step)
+
+    @property
+    def delivered(self) -> List[Tuple[ProcId, Message, int]]:
+        """Every delivery so far: (processor, message, step)."""
+        return self._delivered
+
+    @property
+    def local_deliveries(self) -> int:
+        """Count of self-addressed submissions short-circuited locally."""
+        return self._local_deliveries

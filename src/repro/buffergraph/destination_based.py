@@ -1,0 +1,40 @@
+"""The "destination-based" buffer graph of Figure 1 (Merlin & Schweitzer).
+
+One buffer ``b_p(d)`` per (processor, destination); for each destination
+``d`` the component is isomorphic to the routing tree ``T_d``: an edge
+``b_p(d) -> b_q(d)`` whenever ``q`` is the parent of ``p`` in ``T_d``.
+Because each component is a tree oriented toward its root, the whole graph
+is acyclic, which is what makes the scheme deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.buffergraph.graph import BufferGraph, BufferId
+from repro.network.graph import Network
+from repro.routing.table import RoutingService
+
+
+def destination_based_buffer_graph(
+    net: Network, routing: RoutingService
+) -> BufferGraph:
+    """Build the Figure-1 construction from the given routing tables.
+
+    With *correct* tables the result is acyclic (n tree components).  With
+    corrupted tables it may contain cycles — exactly the hazard the paper's
+    protocol exists to survive; :meth:`BufferGraph.is_acyclic` exposes the
+    difference.
+    """
+    nodes: List[BufferId] = [
+        BufferId(p, d, "single") for d in net.processors() for p in net.processors()
+    ]
+    edges: List[Tuple[BufferId, BufferId]] = []
+    for d in net.processors():
+        for p in net.processors():
+            if p == d:
+                continue
+            q = routing.next_hop(p, d)
+            if q != p:
+                edges.append((BufferId(p, d, "single"), BufferId(q, d, "single")))
+    return BufferGraph(nodes, edges)

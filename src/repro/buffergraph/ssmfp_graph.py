@@ -1,0 +1,41 @@
+"""The paper's adapted two-buffer graph of Figure 2.
+
+For each destination ``d`` every processor contributes a reception buffer
+``bufR_p(d)`` and an emission buffer ``bufE_p(d)``.  Allowed moves:
+
+* internal forwarding  ``bufR_p(d) -> bufE_p(d)``  (rule R2), and
+* forwarding           ``bufE_p(d) -> bufR_q(d)``  with ``q = nextHop_p(d)``
+  (rules R3/R4), for ``p != d``.
+
+With correct tables each destination component is the tree ``T_d`` with
+every node split into an R->E pair — still acyclic, but now every hop is a
+copy-then-erase handshake, which is what lets SSMFP control duplication and
+merging while tables move underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.buffergraph.graph import BufferGraph, BufferId
+from repro.network.graph import Network
+from repro.routing.table import RoutingService
+
+
+def ssmfp_buffer_graph(net: Network, routing: RoutingService) -> BufferGraph:
+    """Build the Figure-2 construction from the given routing tables."""
+    nodes: List[BufferId] = []
+    edges: List[Tuple[BufferId, BufferId]] = []
+    for d in net.processors():
+        for p in net.processors():
+            r = BufferId(p, d, "R")
+            e = BufferId(p, d, "E")
+            nodes.extend((r, e))
+            edges.append((r, e))
+        for p in net.processors():
+            if p == d:
+                continue
+            q = routing.next_hop(p, d)
+            if q != p:
+                edges.append((BufferId(p, d, "E"), BufferId(q, d, "R")))
+    return BufferGraph(nodes, edges)

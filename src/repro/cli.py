@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+Entry points (also available via ``python -m repro``):
+
+* ``repro list`` — the experiment registry;
+* ``repro experiment <id>`` — regenerate one figure/proposition table;
+* ``repro simulate`` — run an SSMFP simulation from declarative flags
+  (topology, corruption, workload, daemon, seed) and print the outcome,
+  optionally watching one destination component live (``--watch``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.app.workload import hotspot_workload, uniform_workload
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.network.topologies import topology_by_name
+from repro.sim.runner import build_simulation, delivered_and_drained
+from repro.statemodel.daemon import (
+    CentralRandomDaemon,
+    DistributedRandomDaemon,
+    RoundRobinDaemon,
+    SynchronousDaemon,
+)
+from repro.viz.ascii_art import render_component_state, render_network
+
+_DAEMONS = {
+    "synchronous": lambda seed: SynchronousDaemon(),
+    "central": CentralRandomDaemon,
+    "distributed": DistributedRandomDaemon,
+    "round-robin": lambda seed: RoundRobinDaemon(),
+}
+
+_TOPOLOGY_ARGS = {
+    "line": ("n",),
+    "ring": ("n",),
+    "star": ("n",),
+    "complete": ("n",),
+    "hypercube": ("dim",),
+    "grid": ("rows", "cols"),
+    "torus": ("rows", "cols"),
+    "fig1": (),
+    "fig3": (),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snap-stabilizing message forwarding (SSMFP) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiments of the registry")
+
+    exp = sub.add_parser("experiment", help="regenerate one experiment")
+    exp.add_argument("id", help="experiment id (e.g. F3, P5, T1, X1)")
+
+    sub.add_parser("all", help="regenerate every experiment back to back")
+
+    rec = sub.add_parser(
+        "record", help="run a spec file, write a reproducibility record"
+    )
+    rec.add_argument("spec", help="path to a JSON simulation spec")
+    rec.add_argument("-o", "--output", default=None, help="record output path")
+    rec.add_argument("--max-steps", type=int, default=500_000)
+
+    ver = sub.add_parser(
+        "verify", help="re-run a record and check the fingerprint matches"
+    )
+    ver.add_argument("record", help="path to a JSON record")
+
+    swp = sub.add_parser(
+        "sweep", help="run every spec in a JSON file, print a result table"
+    )
+    swp.add_argument(
+        "specs",
+        help="JSON file: a list of specs, or {'specs': [...]} with optional "
+             "'label' per spec",
+    )
+    swp.add_argument("--max-steps", type=int, default=500_000)
+
+    simp = sub.add_parser("simulate", help="run one simulation")
+    simp.add_argument("--topology", default="ring", choices=sorted(_TOPOLOGY_ARGS))
+    simp.add_argument("--n", type=int, default=8)
+    simp.add_argument("--rows", type=int, default=3)
+    simp.add_argument("--cols", type=int, default=3)
+    simp.add_argument("--dim", type=int, default=3)
+    simp.add_argument("--messages", type=int, default=20)
+    simp.add_argument(
+        "--workload", default="uniform", choices=["uniform", "hotspot"]
+    )
+    simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--corrupt", default="none", choices=["none", "random", "worst"],
+        help="initial routing-table corruption",
+    )
+    simp.add_argument(
+        "--garbage", type=float, default=0.0,
+        help="fraction of buffers pre-filled with invalid messages",
+    )
+    simp.add_argument(
+        "--daemon", default="distributed", choices=sorted(_DAEMONS)
+    )
+    simp.add_argument("--max-steps", type=int, default=500_000)
+    simp.add_argument(
+        "--watch", type=int, default=None, metavar="DEST",
+        help="print DEST's component every 25 steps",
+    )
+    return parser
+
+
+def _make_network(args):
+    kwargs = {key: getattr(args, key) for key in _TOPOLOGY_ARGS[args.topology]}
+    return topology_by_name(args.topology, **kwargs)
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp_id, (description, _) in EXPERIMENTS.items():
+        print(f"{exp_id.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_experiment(exp_id: str) -> int:
+    try:
+        print(run_experiment(exp_id))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    net = _make_network(args)
+    if args.workload == "uniform":
+        workload = uniform_workload(net.n, args.messages, seed=args.seed)
+    else:
+        workload = hotspot_workload(
+            net.n, dest=0, per_source=max(1, args.messages // max(net.n - 1, 1)),
+            seed=args.seed,
+        )
+    sim = build_simulation(
+        net,
+        workload=workload,
+        routing_corruption=(
+            None if args.corrupt == "none"
+            else {"kind": args.corrupt, "seed": args.seed}
+        ),
+        garbage=(
+            {"fraction": args.garbage, "seed": args.seed} if args.garbage else None
+        ),
+        daemon=_DAEMONS[args.daemon](args.seed),
+        seed=args.seed,
+    )
+    print(render_network(net))
+    print()
+    watched = args.watch
+    for _ in range(args.max_steps):
+        if delivered_and_drained(sim):
+            break
+        if watched is not None and sim.sim.step_count % 25 == 0:
+            print(f"-- step {sim.sim.step_count}")
+            print(render_component_state(sim.forwarding, watched))
+        report = sim.step()
+        if report.terminal and not sim._fast_forward_workload():
+            break
+    ledger = sim.ledger
+    print(
+        f"steps={sim.sim.step_count} rounds={sim.sim.round_count} "
+        f"generated={ledger.generated_count} "
+        f"delivered={ledger.valid_delivered_count} "
+        f"invalid_delivered={ledger.invalid_delivery_count}"
+    )
+    if not ledger.all_valid_delivered():
+        print("WARNING: undelivered messages remain", file=sys.stderr)
+        return 1
+    print("all valid messages delivered exactly once")
+    return 0
+
+
+def _cmd_all() -> int:
+    from repro.experiments.registry import main as run_all
+
+    print(run_all())
+    return 0
+
+
+def _cmd_record(args) -> int:
+    import json
+    import pathlib
+
+    from repro.sim.recording import record_run
+
+    spec = json.loads(pathlib.Path(args.spec).read_text())
+    record = record_run(spec, max_steps=args.max_steps)
+    out = args.output or (str(pathlib.Path(args.spec).with_suffix("")) + ".record.json")
+    pathlib.Path(out).write_text(record.to_json() + "\n")
+    print(f"recorded: {out}")
+    for key, value in sorted(record.outcome.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    import pathlib
+
+    from repro.sim.recording import RunRecord, verify_record
+
+    record = RunRecord.from_json(pathlib.Path(args.record).read_text())
+    problems = verify_record(record)
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}", file=sys.stderr)
+        return 1
+    print("verified: the run reproduces bit-identically")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import json
+    import pathlib
+
+    from repro.sim.recording import record_run
+    from repro.sim.reporting import format_table
+
+    data = json.loads(pathlib.Path(args.specs).read_text())
+    specs = data["specs"] if isinstance(data, dict) else data
+    rows = []
+    for i, spec in enumerate(specs):
+        spec = dict(spec)
+        label = spec.pop("label", f"spec[{i}]")
+        record = record_run(spec, max_steps=args.max_steps)
+        row = {"label": label}
+        row.update(
+            {
+                k: v
+                for k, v in record.outcome.items()
+                if k != "rule_counts"
+            }
+        )
+        rows.append(row)
+    print(format_table(rows, title=f"sweep over {len(rows)} specs"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args.id)
+    if args.command == "all":
+        return _cmd_all()
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_simulate(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the SSMFP protocol.
+
+* :class:`SSMFP` — the six-rule snap-stabilizing message forwarding
+  protocol (Algorithm 1) as a state-model :class:`~repro.statemodel.Protocol`;
+* :mod:`~repro.core.caterpillar` — Definition 3's caterpillar taxonomy;
+* :mod:`~repro.core.invariants` — machine-checked safety (Lemmas 4 & 5);
+* :class:`~repro.core.ledger.DeliveryLedger` — exactly-once accounting;
+* :mod:`~repro.core.corruption` — adversarial initial buffer/queue states.
+"""
+
+from repro.core.buffers import ForwardingBuffers
+from repro.core.caterpillar import Caterpillar, all_caterpillars, caterpillars_at
+from repro.core.choice import FairChoiceQueue
+from repro.core.colors import free_color
+from repro.core.corruption import (
+    fill_all_buffers,
+    plant_invalid_message,
+    plant_invalid_messages,
+    scramble_queues,
+)
+from repro.core.invariants import InvariantChecker
+from repro.core.ledger import DeliveryLedger
+from repro.core.protocol import SSMFP
+
+__all__ = [
+    "SSMFP",
+    "ForwardingBuffers",
+    "FairChoiceQueue",
+    "DeliveryLedger",
+    "InvariantChecker",
+    "Caterpillar",
+    "all_caterpillars",
+    "caterpillars_at",
+    "free_color",
+    "fill_all_buffers",
+    "plant_invalid_message",
+    "plant_invalid_messages",
+    "scramble_queues",
+]

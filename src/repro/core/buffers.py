@@ -1,0 +1,79 @@
+"""Reception/emission buffer storage for SSMFP.
+
+Per destination ``d`` every processor owns a reception buffer ``bufR_p(d)``
+and an emission buffer ``bufE_p(d)`` (the paper's two-buffers-per-
+destination scheme, Figure 2).  Storage is indexed ``[d][p]`` and tracks a
+per-destination occupancy count so the protocol can skip idle destination
+components in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.statemodel.message import Message
+from repro.types import DestId, ProcId
+
+
+class ForwardingBuffers:
+    """All ``bufR``/``bufE`` buffers of one SSMFP instance."""
+
+    __slots__ = ("n", "R", "E", "_occupied")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        #: ``R[d][p]`` — reception buffer of processor p for destination d.
+        self.R: List[List[Optional[Message]]] = [[None] * n for _ in range(n)]
+        #: ``E[d][p]`` — emission buffer of processor p for destination d.
+        self.E: List[List[Optional[Message]]] = [[None] * n for _ in range(n)]
+        self._occupied = [0] * n
+
+    # -- mutation (all buffer writes go through these, keeping counts right) --
+
+    def set_r(self, d: DestId, p: ProcId, msg: Optional[Message]) -> None:
+        """Write ``bufR_p(d)``."""
+        old = self.R[d][p]
+        self.R[d][p] = msg
+        self._occupied[d] += (msg is not None) - (old is not None)
+
+    def set_e(self, d: DestId, p: ProcId, msg: Optional[Message]) -> None:
+        """Write ``bufE_p(d)``."""
+        old = self.E[d][p]
+        self.E[d][p] = msg
+        self._occupied[d] += (msg is not None) - (old is not None)
+
+    def move_r_to_e(self, d: DestId, p: ProcId, recolored: Message) -> None:
+        """Rule R2's simultaneous write: fill ``bufE``, empty ``bufR``."""
+        self.E[d][p] = recolored
+        self.R[d][p] = None  # occupancy unchanged: one in, one out
+
+    # -- queries ------------------------------------------------------------
+
+    def occupied_in_component(self, d: DestId) -> int:
+        """Number of nonempty buffers in destination ``d``'s component."""
+        return self._occupied[d]
+
+    def total_occupied(self) -> int:
+        """Nonempty buffers across all components."""
+        return sum(self._occupied)
+
+    def iter_messages(self) -> Iterator[Tuple[DestId, ProcId, str, Message]]:
+        """Yield every stored message as ``(dest, proc, kind, message)``
+        with kind in {"R", "E"}."""
+        for d in range(self.n):
+            if self._occupied[d] == 0:
+                continue
+            row_r, row_e = self.R[d], self.E[d]
+            for p in range(self.n):
+                if row_r[p] is not None:
+                    yield (d, p, "R", row_r[p])
+                if row_e[p] is not None:
+                    yield (d, p, "E", row_e[p])
+
+    def copies_of(self, uid: int) -> List[Tuple[DestId, ProcId, str]]:
+        """Locations of every stored copy of the message with hidden ``uid``."""
+        return [
+            (d, p, kind)
+            for d, p, kind, msg in self.iter_messages()
+            if msg.uid == uid
+        ]

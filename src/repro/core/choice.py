@@ -1,0 +1,148 @@
+"""The ``choice_p(d)`` fairness queue.
+
+The paper manages the fair selection of which requester (a neighbor with a
+message to forward into ``bufR_p(d)``, or ``p`` itself wanting to generate)
+is served next "with a queue of length Δ+1".  :class:`FairChoiceQueue`
+implements exactly that: requesters enter at the tail when they start
+satisfying the candidate predicate, leave when served or when they stop
+satisfying it, and ``choice_p(d)`` is the head.  Bounded bypass: a candidate
+waits behind at most Δ others.
+
+Two deliberately *broken* policies are provided for the ablation benches:
+``"lifo"`` (new candidates preempt the head) and ``"fixed"`` (always the
+smallest identity) — both can starve a requester forever, which is the
+livelock the paper's fairness exists to prevent.
+
+A fourth policy, ``"aged"``, explores the paper's §4 future work (speed up
+the worst case by changing the selection scheme): candidates are served in
+decreasing order of how far their waiting message has already traveled
+(its hop count), so fresh traffic cannot keep passing an old message at
+every hop.  The exhaustive liveness checker found its flaw: a *generation
+request* has no hops, so a persistent stream outranks it forever —
+starvation.  The fifth policy, ``"aged_fair"``, fixes that: every
+candidate also ages by *waiting time* (syncs spent in the queue, divided
+by ``wait_slowdown`` and capped), and the effective priority is the max of
+the two ages.  A starving request's wait-age grows past any bounded hop
+count, so service is guaranteed — verified exhaustively in
+``tests/test_liveness.py`` — while the slow accrual keeps in-flight
+messages' speed advantage (with ``wait_slowdown=1`` the policy degrades
+gracefully toward FIFO under saturation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.types import ProcId
+
+_POLICIES = ("fifo", "lifo", "fixed", "aged", "aged_fair")
+
+
+class FairChoiceQueue:
+    """Queue of requesters for one reception buffer ``bufR_p(d)``."""
+
+    __slots__ = ("_q", "_policy", "_wait", "_wait_cap", "_wait_slowdown")
+
+    def __init__(
+        self,
+        policy: str = "fifo",
+        wait_cap: int = 256,
+        wait_slowdown: int = 32,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown choice policy {policy!r}; want one of {_POLICIES}")
+        if wait_cap < 1:
+            raise ValueError(f"wait_cap must be positive, got {wait_cap}")
+        if wait_slowdown < 1:
+            raise ValueError(f"wait_slowdown must be positive, got {wait_slowdown}")
+        self._q: List[ProcId] = []
+        self._policy = policy
+        #: aged_fair only: syncs each candidate has waited (capped so the
+        #: state space stays finite for exhaustive exploration).
+        self._wait: Dict[ProcId, int] = {}
+        self._wait_cap = wait_cap
+        self._wait_slowdown = wait_slowdown
+
+    @property
+    def policy(self) -> str:
+        """The selection policy ("fifo" is the paper's)."""
+        return self._policy
+
+    def sync(
+        self,
+        candidates: Iterable[ProcId],
+        priority: Optional[Dict[ProcId, int]] = None,
+    ) -> None:
+        """Reconcile the queue with the current candidate set.
+
+        Requesters that stopped satisfying the predicate leave; new ones
+        enter (tail for fifo, head for lifo); "fixed" ignores arrival
+        order entirely; "aged" orders by decreasing ``priority`` (the
+        waiting message's hop count), FIFO-stable within equal ages.
+        """
+        cand = set(candidates)
+        if self._policy == "fixed":
+            self._q = sorted(cand)
+            return
+        kept = [x for x in self._q if x in cand]
+        fresh = sorted(cand.difference(kept))
+        if self._policy == "fifo":
+            self._q = kept + fresh
+        elif self._policy == "lifo":
+            self._q = fresh + kept
+        elif self._policy == "aged":
+            prio = priority or {}
+            arrival = {x: i for i, x in enumerate(kept + fresh)}
+            self._q = sorted(cand, key=lambda x: (-prio.get(x, -1), arrival[x]))
+        else:  # aged_fair
+            prio = priority or {}
+            for lapsed in [x for x in self._wait if x not in cand]:
+                del self._wait[lapsed]
+            for x in cand:
+                self._wait[x] = min(self._wait.get(x, -1) + 1, self._wait_cap)
+            arrival = {x: i for i, x in enumerate(kept + fresh)}
+            self._q = sorted(
+                cand,
+                key=lambda x: (
+                    -max(
+                        prio.get(x, -1),
+                        self._wait[x] // self._wait_slowdown,
+                    ),
+                    arrival[x],
+                ),
+            )
+
+    def head(self) -> Optional[ProcId]:
+        """The paper's ``choice_p(d)``: the requester served next, or None
+        when nobody requests."""
+        return self._q[0] if self._q else None
+
+    def serve(self, s: ProcId) -> None:
+        """Remove ``s`` after its message was copied / generated; it
+        re-enters at the tail (with a reset wait-age) if it requests
+        again."""
+        try:
+            self._q.remove(s)
+        except ValueError:
+            pass
+        self._wait.pop(s, None)
+
+    def items(self) -> List[ProcId]:
+        """Current queue contents, head first (diagnostics, corruption)."""
+        return list(self._q)
+
+    def force(self, order: List[ProcId]) -> None:
+        """Overwrite the queue (used to model arbitrary initial states)."""
+        self._q = list(order)
+        self._wait = {}
+
+    def state(self) -> Tuple:
+        """Canonical serialization (order plus wait-ages) for state-space
+        exploration."""
+        return (tuple(self._q), tuple(sorted(self._wait.items())))
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __repr__(self) -> str:
+        return f"FairChoiceQueue({self._q!r}, policy={self._policy})"

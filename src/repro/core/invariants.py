@@ -1,0 +1,123 @@
+"""Machine-checked safety invariants (Lemmas 4 & 5 as runtime checks).
+
+:class:`InvariantChecker` scans an :class:`~repro.core.protocol.SSMFP`
+instance and raises :class:`~repro.errors.InvariantViolation` when a
+configuration the proofs forbid is reached.  Installed as a per-step strict
+hook in the core tests, it turns every simulated execution into thousands of
+checked theorems.
+
+The checks (and their preconditions) are:
+
+* **well-formedness** — every stored message has a color in ``{0..Δ}``, a
+  ``last`` field in ``N_p ∪ {p}``, and a ``dest`` tag equal to its
+  component's destination;
+* **no loss** (Lemma 4) — every generated-but-undelivered valid uid has at
+  least one stored copy;
+* **no duplication** (Lemma 5) — a delivered valid uid has zero stored
+  copies (nothing left to deliver again), and the ledger holds at most one
+  delivery for it;
+* **copy geometry** — all stored copies of a valid uid live in its own
+  destination component.
+
+Preconditions for the no-loss/no-duplication checks: the routing protocol
+runs with priority (the paper's assumption) and the workload contains no
+self-addressed messages (see :mod:`repro.app.higher_layer`).  The
+well-formedness checks hold unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.protocol import SSMFP
+from repro.errors import InvariantViolation
+from repro.types import ProcId
+
+
+class InvariantChecker:
+    """Scans an SSMFP instance for violations of the paper's lemmas."""
+
+    def __init__(self, proto: SSMFP) -> None:
+        self._proto = proto
+
+    def check(self) -> None:
+        """Run all checks; raises :class:`InvariantViolation` on failure."""
+        self.check_well_formed()
+        self.check_no_loss()
+        self.check_no_duplication()
+        self.check_copy_geometry()
+
+    # Individual checks -------------------------------------------------------
+
+    def check_well_formed(self) -> None:
+        """Colors in range, last-hop in ``N_p ∪ {p}``, dest tags match."""
+        proto = self._proto
+        delta = proto.delta
+        for d, p, kind, msg in proto.bufs.iter_messages():
+            if not (0 <= msg.color <= delta):
+                raise InvariantViolation(
+                    f"buf{kind}_{p}({d}) holds color {msg.color} outside 0..{delta}"
+                )
+            if msg.last != p and msg.last not in proto.net.neighbors(p):
+                raise InvariantViolation(
+                    f"buf{kind}_{p}({d}) holds last={msg.last}, "
+                    f"not in N_{p} ∪ {{{p}}}"
+                )
+            if msg.dest != d:
+                raise InvariantViolation(
+                    f"buf{kind}_{p}({d}) holds a message tagged dest={msg.dest}"
+                )
+
+    def _valid_copy_locations(self) -> Dict[int, List[Tuple[int, ProcId, str]]]:
+        locations: Dict[int, List[Tuple[int, ProcId, str]]] = {}
+        for d, p, kind, msg in self._proto.bufs.iter_messages():
+            if msg.valid:
+                locations.setdefault(msg.uid, []).append((d, p, kind))
+        return locations
+
+    def check_no_loss(self) -> None:
+        """Every outstanding valid uid is stored somewhere (Lemma 4)."""
+        stored: Set[int] = set(self._valid_copy_locations())
+        missing = self._proto.ledger.outstanding_uids().difference(stored)
+        if missing:
+            raise InvariantViolation(
+                f"valid messages lost (no stored copy, never delivered): "
+                f"uids {sorted(missing)}"
+            )
+
+    def check_no_duplication(self) -> None:
+        """A delivered valid uid has no residual stored copy (Lemma 5)."""
+        ledger = self._proto.ledger
+        for uid, locs in self._valid_copy_locations().items():
+            if ledger.delivery_record(uid) is not None:
+                raise InvariantViolation(
+                    f"valid uid {uid} was delivered but copies remain at {locs}"
+                )
+
+    def check_copy_geometry(self) -> None:
+        """Copies of a valid uid stay inside its destination's component."""
+        ledger = self._proto.ledger
+        for uid, locs in self._valid_copy_locations().items():
+            info = ledger.generation_info(uid)
+            if info is None:
+                raise InvariantViolation(
+                    f"stored valid uid {uid} was never recorded as generated"
+                )
+            _, dest, _ = info
+            wrong = [loc for loc in locs if loc[0] != dest]
+            if wrong:
+                raise InvariantViolation(
+                    f"valid uid {uid} (dest {dest}) has copies in foreign "
+                    f"components: {wrong}"
+                )
+
+    # Simulator hook -------------------------------------------------------------
+
+    def as_hook(self):
+        """Adapter usable as a :class:`~repro.statemodel.Simulator` strict
+        hook (ignores the simulator argument)."""
+
+        def hook(_sim) -> None:
+            self.check()
+
+        return hook

@@ -1,0 +1,186 @@
+"""The SSMFP protocol class (Algorithm 1 wired together).
+
+One :class:`SSMFP` instance runs the per-destination algorithm for *every*
+destination simultaneously, as the paper prescribes ("we assume that all
+these algorithms run simultaneously; as they are mutually independent, this
+assumption has no effect on the provided proof").
+
+The instance owns the buffers, the ``choice`` queues and the message
+factory; it reads routing through a :class:`~repro.routing.RoutingService`
+and talks to the application through a :class:`~repro.app.HigherLayer`.
+Compose it under a :class:`~repro.statemodel.composition.PriorityStack`
+below the routing protocol to get the paper's ``A ≫ SSMFP`` arrangement.
+
+Ablation knobs (all default to the paper's design):
+
+* ``enable_colors=False`` — ``color_p(d)`` degenerates to the constant 0
+  (shows merges/losses the color flag prevents);
+* ``choice_policy="lifo" | "fixed"`` — unfair selection (shows starvation);
+* ``enable_r5=False`` — no duplicate cleanup (shows R4 wedging);
+* ``r5_literal=True`` — the paper's literal R5 without the ``q ≠ p``
+  disambiguation (shows the erratum's loss of fresh generations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.app.higher_layer import HigherLayer
+from repro.core.buffers import ForwardingBuffers
+from repro.core.choice import FairChoiceQueue
+from repro.core.colors import free_color
+from repro.core.ledger import DeliveryLedger
+from repro.core.rules import ALL_RULES
+from repro.network.graph import Network
+from repro.network.properties import max_degree
+from repro.routing.table import RoutingService
+from repro.statemodel.action import Action
+from repro.statemodel.message import MessageFactory
+from repro.statemodel.protocol import Protocol
+from repro.types import Color, DestId, ProcId
+
+
+class SSMFP(Protocol):
+    """Snap-Stabilizing Message Forwarding Protocol."""
+
+    name = "SSMFP"
+
+    def __init__(
+        self,
+        net: Network,
+        routing: RoutingService,
+        higher_layer: HigherLayer,
+        ledger: Optional[DeliveryLedger] = None,
+        *,
+        enable_colors: bool = True,
+        enable_r5: bool = True,
+        r5_literal: bool = False,
+        choice_policy: str = "fifo",
+        choice_wait_cap: int = 256,
+        choice_wait_slowdown: int = 32,
+    ) -> None:
+        self.net = net
+        self.routing = routing
+        self.hl = higher_layer
+        self.ledger = ledger if ledger is not None else DeliveryLedger()
+        self.factory = MessageFactory()
+        self.bufs = ForwardingBuffers(net.n)
+        #: ``queues[d][p]`` — the ``choice_p(d)`` fairness queue.
+        self.queues: List[List[FairChoiceQueue]] = [
+            [
+                FairChoiceQueue(
+                    choice_policy,
+                    wait_cap=choice_wait_cap,
+                    wait_slowdown=choice_wait_slowdown,
+                )
+                for _ in net.processors()
+            ]
+            for _ in net.processors()
+        ]
+        #: The paper's Δ; colors live in {0..Δ}.
+        self.delta = max_degree(net)
+        self._choice_policy = choice_policy
+        self.enable_colors = enable_colors
+        self.enable_r5 = enable_r5
+        self.r5_literal = r5_literal
+        self.current_step = 0
+
+    # -- procedures of Algorithm 1 ------------------------------------------
+
+    def pick_color(self, p: ProcId, d: DestId) -> Color:
+        """``color_p(d)``; the ablation knob degrades it to constant 0."""
+        if not self.enable_colors:
+            return 0
+        return free_color(self.net, self.bufs.R[d], p, self.delta)
+
+    def candidates(self, p: ProcId, d: DestId) -> Set[ProcId]:
+        """The requesters ``choice_p(d)`` selects among: neighbors whose
+        emission buffer targets ``p``, plus ``p`` itself when it wants to
+        generate for ``d``."""
+        cand: Set[ProcId] = set()
+        buf_e = self.bufs.E[d]
+        for q in self.net.neighbors(p):
+            if buf_e[q] is not None and self.routing.next_hop(q, d) == p:
+                cand.add(q)
+        if self.hl.request[p] and self.hl.next_destination(p) == d:
+            cand.add(p)
+        return cand
+
+    # -- Protocol interface ------------------------------------------------------
+
+    def before_step(self, step: int) -> None:
+        """Environment phase: raise requests, reconcile choice queues.
+
+        Only destination components that can possibly act (occupied buffers
+        or a pending request) are reconciled — idle components have no
+        candidates by definition, and their rules' guards are all false.
+        """
+        self.current_step = step
+        self.hl.before_step(step)
+        active = self.active_destinations()
+        aged = self._choice_policy in ("aged", "aged_fair")
+        for d in active:
+            queues_d = self.queues[d]
+            buf_e = self.bufs.E[d]
+            for p in self.net.processors():
+                cand = self.candidates(p, d)
+                if aged:
+                    priority = {
+                        q: buf_e[q].hops
+                        for q in cand
+                        if q != p and buf_e[q] is not None
+                    }
+                    queues_d[p].sync(cand, priority)
+                else:
+                    queues_d[p].sync(cand)
+
+    def active_destinations(self) -> Set[DestId]:
+        """Destinations whose component holds messages or has a pending
+        generation request."""
+        active: Set[DestId] = {
+            d
+            for d in self.net.processors()
+            if self.bufs.occupied_in_component(d) > 0
+        }
+        for p in self.net.processors():
+            if self.hl.request[p]:
+                nd = self.hl.next_destination(p)
+                if nd is not None:
+                    active.add(nd)
+        return active
+
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        actions: List[Action] = []
+        bufs = self.bufs
+        hl = self.hl
+        request_dest = hl.next_destination(pid) if hl.request[pid] else None
+        for d in self.net.processors():
+            if bufs.occupied_in_component(d) == 0 and request_dest != d:
+                continue
+            # Fast path: with both local buffers empty, only R1 (a pending
+            # request chosen by the queue) or R3 (a queued neighbor offer)
+            # can be enabled — both require a nonempty choice queue.
+            if (
+                bufs.R[d][pid] is None
+                and bufs.E[d][pid] is None
+                and self.queues[d][pid].head() is None
+            ):
+                continue
+            for rule in ALL_RULES:
+                action = rule(self, pid, d)
+                if action is not None:
+                    actions.append(action)
+        return actions
+
+    # -- introspection -----------------------------------------------------------
+
+    def network_is_empty(self) -> bool:
+        """True iff no buffer of any component holds a message."""
+        return self.bufs.total_occupied() == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Compact dump of every occupied buffer, keyed ``bufK_p(d)``."""
+        out: Dict[str, object] = {}
+        for d, p, kind, msg in self.bufs.iter_messages():
+            out[f"buf{kind}_{p}({d})"] = repr(msg)
+        return out

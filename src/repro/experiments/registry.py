@@ -1,0 +1,77 @@
+"""Registry of experiments: id -> (description, entry point).
+
+Every entry point is a zero-argument callable returning the regenerated
+table/transcript as a string.  ``run_experiment`` looks up and executes
+one; the benchmark harness iterates over :data:`EXPERIMENTS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ablations,
+    comparison,
+    congestion,
+    exhaustive,
+    fast_choice,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    message_passing,
+    open_problem,
+    overhead,
+    routing_study,
+    sustained_faults,
+    prop4,
+    prop5,
+    prop6,
+    prop7,
+)
+
+#: Experiment id -> (one-line description, entry point).
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "F1": ("Figure 1: destination-based buffer graph", fig1.main),
+    "F2": ("Figure 2: SSMFP two-buffer graph", fig2.main),
+    "F3": ("Figure 3: worked execution replay", fig3.main),
+    "F4": ("Figure 4: caterpillar taxonomy", fig4.main),
+    "P4": ("Proposition 4: 2n invalid-delivery bound", prop4.main),
+    "P5": ("Proposition 5: delivery time O(max(R_A, Delta^D))", prop5.main),
+    "P6": ("Proposition 6: delay and waiting time", prop6.main),
+    "P7": ("Proposition 7: amortized complexity O(max(R_A, D))", prop7.main),
+    "T1": ("Comparison: SSMFP vs classical scheme", comparison.main),
+    "T2": ("Overhead of snap-stabilization", overhead.main),
+    "A1-A4": ("Ablations of colors, fairness, R5, literal R5", ablations.main),
+    "X1": ("Open problem: buffers/processor vs orientation covers", open_problem.main),
+    "X2": ("Future work: age-priority choice vs FIFO", fast_choice.main),
+    "X3": ("Future work: the message-passing port", message_passing.main),
+    "X4": ("Sustained transient faults: safety and cost", sustained_faults.main),
+    "X5": ("Exhaustive model checking of small instances", exhaustive.main),
+    "X6": ("Substrate study: the routing protocol's R_A", routing_study.main),
+    "X7": ("Congestion: burst drain under growing load", congestion.main),
+}
+
+
+def run_experiment(exp_id: str) -> str:
+    """Run one experiment by id and return its report."""
+    try:
+        _, entry = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return entry()
+
+
+def main() -> str:
+    """Run every experiment back to back (the full evaluation)."""
+    parts = []
+    for exp_id, (description, entry) in EXPERIMENTS.items():
+        parts.append(f"=== {exp_id}: {description} ===")
+        parts.append(entry())
+        parts.append("")
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

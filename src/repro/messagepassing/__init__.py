@@ -1,0 +1,41 @@
+"""Message-passing model substrate and the SSMFP port (§4 future work).
+
+The paper closes with: "it will be interesting to carry our protocol in the
+message passing model (a more realistic model of distributed system)...
+The problem to carry automatically a protocol from the state model to the
+message passing model is still open."
+
+This package provides that exploration:
+
+* :mod:`~repro.messagepassing.engine` — an asynchronous message-passing
+  simulator: per-directed-edge FIFO channels, an adversarial seeded
+  scheduler choosing which channel delivers or which node acts next;
+* :mod:`~repro.messagepassing.forwarding` — a port of the two-buffer
+  forwarding scheme: each state-model hop becomes an explicit
+  OFFER/ACCEPT/RELEASE three-way handshake (the shared-memory reads R3/R4
+  and R2's wait-for-erase guard translate into these messages).
+
+From *clean* initial configurations the port preserves exactly-once
+delivery under arbitrary asynchrony (tested).  From *corrupted* initial
+configurations — garbage already sitting in channels — it does **not**
+(also tested): a forged ACCEPT destroys an original, a forged OFFER
+injects phantom traffic.  That gap is exactly the open problem the paper
+names; the tests make it concrete.
+"""
+
+from repro.messagepassing.engine import (
+    Channel,
+    LocalAction,
+    MessagePassingSimulator,
+    MPNode,
+)
+from repro.messagepassing.forwarding import MPForwardingNode, build_mp_network
+
+__all__ = [
+    "Channel",
+    "LocalAction",
+    "MessagePassingSimulator",
+    "MPNode",
+    "MPForwardingNode",
+    "build_mp_network",
+]

@@ -1,0 +1,170 @@
+"""An asynchronous message-passing simulator.
+
+Model: nodes connected by one FIFO channel per directed edge.  An
+adversarial (seeded) scheduler repeatedly picks either
+
+* a nonempty channel, delivering its head to the receiver's
+  ``on_message``, or
+* an enabled *local action* of some node (generation, buffer commits,
+  timeouts — whatever the node protocol exposes).
+
+Handlers send by calling :meth:`MPNode.send`; sends are enqueued on the
+outgoing channel (asynchrony: delivery happens whenever the scheduler gets
+around to it).  Channels are reliable and FIFO — the weakest assumptions
+under which the fault-free port works; lossy/reordering variants would
+only widen the gap the open problem is about.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationLimitExceeded
+from repro.network.graph import Network
+from repro.types import ProcId
+
+
+@dataclass
+class LocalAction:
+    """One enabled local action of a node: a label plus a thunk."""
+
+    node: ProcId
+    label: str
+    effect: Callable[[], None]
+
+
+class Channel:
+    """A FIFO channel for one directed edge."""
+
+    __slots__ = ("src", "dst", "queue")
+
+    def __init__(self, src: ProcId, dst: ProcId) -> None:
+        self.src = src
+        self.dst = dst
+        self.queue: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.src}->{self.dst}, {len(self.queue)} queued)"
+
+
+class MPNode(ABC):
+    """Base class for message-passing protocol nodes.
+
+    Subclasses implement :meth:`on_message` and :meth:`local_actions`;
+    the simulator wires :attr:`_send` before the first event.
+    """
+
+    def __init__(self, pid: ProcId) -> None:
+        self.pid = pid
+        self._send: Optional[Callable[[ProcId, ProcId, Any], None]] = None
+
+    def send(self, to: ProcId, payload: Any) -> None:
+        """Enqueue ``payload`` on the channel to neighbor ``to``."""
+        if self._send is None:
+            raise ConfigurationError("node is not attached to a simulator")
+        self._send(self.pid, to, payload)
+
+    @abstractmethod
+    def on_message(self, frm: ProcId, payload: Any) -> None:
+        """Handle one delivered message."""
+
+    @abstractmethod
+    def local_actions(self) -> List[LocalAction]:
+        """Currently enabled local actions (may be empty)."""
+
+
+class MessagePassingSimulator:
+    """Drives nodes and channels under an adversarial seeded scheduler."""
+
+    def __init__(self, net: Network, nodes: List[MPNode], seed: int = 0) -> None:
+        if len(nodes) != net.n:
+            raise ConfigurationError(
+                f"need one node per processor: {len(nodes)} != {net.n}"
+            )
+        self.net = net
+        self.nodes = nodes
+        self._rng = random.Random(seed)
+        self.channels: Dict[Tuple[ProcId, ProcId], Channel] = {}
+        for u, v in net.edges:
+            self.channels[(u, v)] = Channel(u, v)
+            self.channels[(v, u)] = Channel(v, u)
+        for node in nodes:
+            node._send = self._enqueue
+        self.events = 0
+        self.delivered_messages = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _enqueue(self, frm: ProcId, to: ProcId, payload: Any) -> None:
+        try:
+            self.channels[(frm, to)].queue.append(payload)
+        except KeyError:
+            raise ConfigurationError(
+                f"no channel {frm} -> {to} (not an edge)"
+            ) from None
+
+    def inject(self, frm: ProcId, to: ProcId, payload: Any) -> None:
+        """Plant a message directly into a channel — the corrupted
+        initial-configuration adversary of the open-problem tests."""
+        self._enqueue(frm, to, payload)
+
+    def in_flight(self) -> int:
+        """Messages currently queued on any channel."""
+        return sum(len(c) for c in self.channels.values())
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _choices(self) -> List[Tuple[str, Any]]:
+        options: List[Tuple[str, Any]] = [
+            ("deliver", c) for c in self.channels.values() if c.queue
+        ]
+        for node in self.nodes:
+            for action in node.local_actions():
+                options.append(("local", action))
+        return options
+
+    def step(self) -> bool:
+        """One scheduler event; False if nothing is enabled (quiescent)."""
+        options = self._choices()
+        if not options:
+            return False
+        kind, chosen = self._rng.choice(options)
+        if kind == "deliver":
+            payload = chosen.queue.popleft()
+            self.delivered_messages += 1
+            self.nodes[chosen.dst].on_message(chosen.src, payload)
+        else:
+            chosen.effect()
+        self.events += 1
+        return True
+
+    def run(
+        self,
+        max_events: int,
+        halt: Optional[Callable[["MessagePassingSimulator"], bool]] = None,
+        raise_on_limit: bool = True,
+    ) -> bool:
+        """Run until quiescent, halted, or out of events.  Returns True if
+        halted/quiesced within budget."""
+        for _ in range(max_events):
+            if halt is not None and halt(self):
+                return True
+            if not self.step():
+                return True
+        if halt is not None and halt(self):
+            return True
+        if raise_on_limit:
+            raise SimulationLimitExceeded(
+                f"no quiescence within {max_events} events; "
+                f"{self.in_flight()} messages in flight",
+                steps=self.events,
+                rounds=0,
+            )
+        return False

@@ -1,0 +1,158 @@
+"""The :class:`Network` value type.
+
+A network is an immutable, identified, undirected, connected graph.  All
+protocols in this reproduction are written against this class: processor
+identities are the integers ``0..n-1`` (the paper's identity set ``I``), and
+``neighbors(p)`` is the paper's ``N_p``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.types import Edge, ProcId, normalized_edge
+
+
+class Network:
+    """An immutable identified undirected connected graph.
+
+    Parameters
+    ----------
+    n:
+        Number of processors; identities are ``0..n-1``.
+    edges:
+        Iterable of undirected edges ``(u, v)``.  Self-loops and duplicate
+        edges are rejected; the edge set must make the graph connected
+        (the paper assumes a connected network).
+    names:
+        Optional human-readable labels (used to mirror the paper's figures,
+        which label processors ``a, b, c, ...``).
+
+    The constructor validates everything eagerly so that downstream code can
+    assume a well-formed network.
+    """
+
+    __slots__ = ("_n", "_edges", "_adj", "_names", "_name_to_id")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[ProcId, ProcId]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n <= 0:
+            raise TopologyError(f"network must have at least one processor, got n={n}")
+        edge_set = set()
+        adj: List[List[ProcId]] = [[] for _ in range(n)]
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise TopologyError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise TopologyError(f"self-loop at processor {u} is not allowed")
+            e = normalized_edge(u, v)
+            if e in edge_set:
+                raise TopologyError(f"duplicate edge {e}")
+            edge_set.add(e)
+            adj[u].append(v)
+            adj[v].append(u)
+        for lst in adj:
+            lst.sort()
+        self._n = n
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._adj: Tuple[Tuple[ProcId, ...], ...] = tuple(tuple(lst) for lst in adj)
+        if names is not None:
+            if len(names) != n:
+                raise TopologyError(
+                    f"expected {n} names, got {len(names)}"
+                )
+            if len(set(names)) != n:
+                raise TopologyError("processor names must be unique")
+            self._names: Tuple[str, ...] = tuple(names)
+        else:
+            self._names = tuple(str(i) for i in range(n))
+        self._name_to_id: Dict[str, ProcId] = {
+            name: i for i, name in enumerate(self._names)
+        }
+        if n > 1 and not self._connected():
+            raise TopologyError("network must be connected")
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self._n
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """Sorted tuple of undirected edges ``(u, v)`` with ``u < v``."""
+        return self._edges
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def processors(self) -> range:
+        """Iterate over all processor identities."""
+        return range(self._n)
+
+    def neighbors(self, p: ProcId) -> Tuple[ProcId, ...]:
+        """The paper's ``N_p``: sorted neighbor identities of ``p``."""
+        return self._adj[p]
+
+    def degree(self, p: ProcId) -> int:
+        """Number of neighbors of ``p``."""
+        return len(self._adj[p])
+
+    def are_neighbors(self, u: ProcId, v: ProcId) -> bool:
+        """True iff the undirected edge (u, v) exists."""
+        return v in self._adj[u]
+
+    # -- names -------------------------------------------------------------
+
+    def name(self, p: ProcId) -> str:
+        """Human-readable label of processor ``p``."""
+        return self._names[p]
+
+    def id_of(self, name: str) -> ProcId:
+        """Inverse of :meth:`name`; raises ``KeyError`` for unknown labels."""
+        return self._name_to_id[name]
+
+    # -- internals ---------------------------------------------------------
+
+    def _connected(self) -> bool:
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self._n
+
+    # -- dunder ------------------------------------------------------------
+
+    def __deepcopy__(self, memo) -> "Network":
+        # Networks are immutable; sharing them keeps state-space
+        # exploration (which deep-copies whole systems) cheap.
+        return self
+
+    def __copy__(self) -> "Network":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Network(n={self._n}, m={self.m})"

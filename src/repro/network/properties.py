@@ -1,0 +1,91 @@
+"""Graph properties used by the paper's analysis: Δ, D, dist(p, q).
+
+All computations are exact BFS-based routines on :class:`~repro.network.Network`
+instances.  They are used both by the routing substrate (ground truth for
+table correctness) and by the experiment harness (the complexity bounds of
+Propositions 5-7 are phrased in Δ, D and dist).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.network.graph import Network
+from repro.types import ProcId
+
+_UNREACHED = -1
+
+
+def bfs_distances(net: Network, source: ProcId) -> List[int]:
+    """Shortest-path (hop) distances from ``source`` to every processor.
+
+    Returns a list ``dist`` with ``dist[p] == dist(source, p)``.  The network
+    is connected by construction, so every entry is a finite non-negative
+    integer.
+    """
+    dist = [_UNREACHED] * net.n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in net.neighbors(u):
+            if dist[v] == _UNREACHED:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(net: Network, root: ProcId) -> List[Optional[ProcId]]:
+    """A BFS spanning tree rooted at ``root``.
+
+    Returns ``parent`` with ``parent[root] is None`` and, for every other
+    processor ``p``, ``parent[p]`` the neighbor of ``p`` on a shortest path
+    toward ``root`` (ties broken toward the smallest identity, matching the
+    deterministic tie-break used by the self-stabilizing routing protocol).
+    This is the tree the paper calls ``T_root``.
+    """
+    dist = bfs_distances(net, root)
+    parent: List[Optional[ProcId]] = [None] * net.n
+    for p in net.processors():
+        if p == root:
+            continue
+        # Smallest-id neighbor strictly closer to the root.
+        parent[p] = min(q for q in net.neighbors(p) if dist[q] == dist[p] - 1)
+    return parent
+
+
+def all_pairs_distances(net: Network) -> List[List[int]]:
+    """Matrix of shortest-path distances; ``result[u][v] == dist(u, v)``."""
+    return [bfs_distances(net, s) for s in net.processors()]
+
+
+def eccentricity(net: Network, p: ProcId) -> int:
+    """Greatest distance from ``p`` to any other processor."""
+    return max(bfs_distances(net, p))
+
+
+def diameter(net: Network) -> int:
+    """The paper's ``D``: the maximum over all pairs of ``dist(p, q)``."""
+    return max(eccentricity(net, p) for p in net.processors())
+
+
+def max_degree(net: Network) -> int:
+    """The paper's ``Δ``: the maximum processor degree."""
+    return max(net.degree(p) for p in net.processors())
+
+
+def is_connected(net: Network) -> bool:
+    """Always True for a constructed :class:`Network`; provided for
+    completeness and for validating edge lists before construction."""
+    return all(d != _UNREACHED for d in bfs_distances(net, 0))
+
+
+def degree_histogram(net: Network) -> Dict[int, int]:
+    """Map degree -> number of processors with that degree."""
+    hist: Dict[int, int] = {}
+    for p in net.processors():
+        d = net.degree(p)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

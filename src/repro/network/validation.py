@@ -1,0 +1,59 @@
+"""Validation helpers for edge lists and cross-checks against networkx.
+
+:func:`validate_edge_list` is the pre-flight check used by callers that
+assemble edge lists dynamically (e.g. campaign configuration files) and want
+a diagnostic before :class:`~repro.network.Network` construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.types import ProcId, normalized_edge
+
+
+def validate_edge_list(
+    n: int, edges: Iterable[Tuple[ProcId, ProcId]]
+) -> List[str]:
+    """Return a list of human-readable problems with the edge list.
+
+    An empty list means :class:`~repro.network.Network` construction will
+    succeed.  Checks: endpoint range, self-loops, duplicates, connectivity.
+    """
+    problems: List[str] = []
+    if n <= 0:
+        return [f"n must be positive, got {n}"]
+    seen = set()
+    adj: List[List[ProcId]] = [[] for _ in range(n)]
+    for u, v in edges:
+        if not (0 <= u < n) or not (0 <= v < n):
+            problems.append(f"edge ({u}, {v}) out of range for n={n}")
+            continue
+        if u == v:
+            problems.append(f"self-loop at {u}")
+            continue
+        e = normalized_edge(u, v)
+        if e in seen:
+            problems.append(f"duplicate edge {e}")
+            continue
+        seen.add(e)
+        adj[u].append(v)
+        adj[v].append(u)
+    if n > 1:
+        visited = [False] * n
+        stack = [0]
+        visited[0] = True
+        count = 1
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if not visited[y]:
+                    visited[y] = True
+                    count += 1
+                    stack.append(y)
+        if count != n:
+            unreached = [p for p in range(n) if not visited[p]]
+            problems.append(
+                f"graph is disconnected; unreachable from 0: {unreached[:10]}"
+            )
+    return problems

@@ -1,0 +1,94 @@
+"""Adversarial initial routing states.
+
+The paper quantifies over *arbitrary* initial configurations.  These helpers
+scramble a :class:`~repro.routing.selfstab_bfs.SelfStabilizingBFSRouting`
+instance into domain-valid garbage (next hops are always neighbors,
+distances always in range — the usual state-model convention).  All are
+seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.routing.selfstab_bfs import SelfStabilizingBFSRouting
+from repro.types import DestId, ProcId
+
+
+def corrupt_random(
+    routing: SelfStabilizingBFSRouting,
+    seed: int,
+    fraction: float = 1.0,
+    destinations: Optional[Iterable[DestId]] = None,
+) -> int:
+    """Randomize a fraction of table entries; returns how many were hit.
+
+    Every selected entry gets an independent uniformly random distance in
+    ``{0..n-1}`` and a uniformly random *neighbor* as next hop (including
+    entries at the destination itself — its locally-checkable rule will
+    repair them first).
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    net = routing.network
+    dests = list(destinations) if destinations is not None else list(net.processors())
+    hit = 0
+    for d in dests:
+        for p in net.processors():
+            if rng.random() >= fraction:
+                continue
+            routing.dist[d][p] = rng.randrange(net.n)
+            routing.hop[d][p] = rng.choice(net.neighbors(p))
+            hit += 1
+    return hit
+
+
+def corrupt_with_cycle(
+    routing: SelfStabilizingBFSRouting,
+    dest: DestId,
+    cycle: Sequence[ProcId],
+) -> None:
+    """Point each processor of ``cycle`` at the next one (mod length) for
+    destination ``dest`` — the corrupted-routing loop of Figure 3.
+
+    Every consecutive pair must be an edge of the network.  Distances along
+    the cycle are set to a plausible-looking descending ramp so the entries
+    are not locally suspicious.
+    """
+    net = routing.network
+    k = len(cycle)
+    if k < 2:
+        raise ValueError("a routing cycle needs at least 2 processors")
+    for i, p in enumerate(cycle):
+        q = cycle[(i + 1) % k]
+        if not net.are_neighbors(p, q):
+            raise ValueError(f"cycle step {p} -> {q} is not an edge")
+        if p == dest:
+            raise ValueError("the destination cannot be part of its own cycle")
+        routing.hop[dest][p] = q
+        routing.dist[dest][p] = max(1, (net.n - 1) - i % max(net.n - 1, 1))
+
+
+def corrupt_worst_case(
+    routing: SelfStabilizingBFSRouting, seed: int
+) -> None:
+    """Adversarial whole-table corruption: for every destination, point every
+    processor *away* from the destination when possible (at its farthest
+    neighbor), with minimal distances — maximizing both the repair work for
+    ``A`` and the misrouting SSMFP must survive.
+    """
+    rng = random.Random(seed)
+    net = routing.network
+    true_dist = routing._true_dist  # ground truth, adversary is omniscient
+    for d in net.processors():
+        td = true_dist[d]
+        for p in net.processors():
+            neighbors = net.neighbors(p)
+            worst = max(neighbors, key=lambda q: (td[q], q))
+            routing.hop[d][p] = worst
+            routing.dist[d][p] = rng.randrange(1, max(net.n, 2))
+        # The destination's own entry is corrupted too.
+        routing.dist[d][d] = rng.randrange(1, max(net.n, 2))
+        routing.hop[d][d] = rng.choice(net.neighbors(d))

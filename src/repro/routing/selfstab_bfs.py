@@ -1,0 +1,152 @@
+"""A self-stabilizing silent routing protocol (the paper's algorithm ``A``).
+
+The paper assumes the existence of a self-stabilizing silent algorithm
+computing routing tables along minimal paths (citing Huang-Chen and Dolev).
+This module implements the classic per-destination BFS distance-vector
+protocol in the state model:
+
+Variables (per processor ``p``, destination ``d``):
+    ``dist_p(d) ∈ {0..n-1}`` and ``hop_p(d) ∈ N_p ∪ {p}``.
+
+Rules:
+    * ``RTself`` (at ``p == d``): if ``dist != 0`` or ``hop != p``, set
+      ``dist := 0, hop := p``.  Purely local; once executed it is never
+      enabled again — the destination's own entry is *monotonically*
+      correct, which the forwarding safety argument relies on.
+    * ``RTfix`` (at ``p != d``): with ``best = min_{q∈N_p} dist_q(d)`` and
+      ``bh`` the smallest-identity neighbor attaining it, if
+      ``dist_p(d) != min(best+1, n-1)`` or ``hop_p(d) != bh``, adopt both.
+
+Under any weakly fair daemon the protocol converges in O(n) rounds to the
+exact BFS distances with smallest-identity parent tie-break (the same
+fixpoint :class:`~repro.routing.static.StaticRouting` computes), after which
+no rule is enabled (*silent*).  ``next_hop`` always returns a domain-valid
+value, even from corrupted states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.graph import Network
+from repro.network.properties import all_pairs_distances
+from repro.routing.table import RoutingService
+from repro.statemodel.action import Action
+from repro.statemodel.protocol import Protocol
+from repro.types import DestId, ProcId
+
+
+class SelfStabilizingBFSRouting(Protocol, RoutingService):
+    """Self-stabilizing BFS routing tables for every destination.
+
+    The instance starts *converged* (correct tables); use the functions in
+    :mod:`repro.routing.corruption` to scramble it into an adversarial
+    initial configuration.
+    """
+
+    name = "A"
+
+    def __init__(self, net: Network) -> None:
+        self._net = net
+        n = net.n
+        self._cap = max(n - 1, 1)
+        # dist[d][p], hop[d][p]; initialized at the correct fixpoint.
+        self._true_dist = all_pairs_distances(net)
+        self.dist: List[List[int]] = [list(self._true_dist[d]) for d in range(n)]
+        self.hop: List[List[ProcId]] = []
+        for d in net.processors():
+            row: List[ProcId] = []
+            td = self._true_dist[d]
+            for p in net.processors():
+                if p == d:
+                    row.append(p)
+                else:
+                    row.append(min(q for q in net.neighbors(p) if td[q] == td[p] - 1))
+            self.hop.append(row)
+
+    # -- RoutingService ------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The network the protocol runs on."""
+        return self._net
+
+    def next_hop(self, p: ProcId, d: DestId) -> ProcId:
+        return self.hop[d][p]
+
+    def is_correct(self) -> bool:
+        """True iff every entry equals the converged fixpoint (correct
+        distance, smallest-id closer neighbor)."""
+        net = self._net
+        for d in net.processors():
+            td = self._true_dist[d]
+            dist_row, hop_row = self.dist[d], self.hop[d]
+            for p in net.processors():
+                if p == d:
+                    if dist_row[p] != 0 or hop_row[p] != p:
+                        return False
+                    continue
+                if dist_row[p] != td[p]:
+                    return False
+                if hop_row[p] != min(
+                    q for q in net.neighbors(p) if td[q] == td[p] - 1
+                ):
+                    return False
+        return True
+
+    # -- Protocol --------------------------------------------------------------
+
+    def _target(self, p: ProcId, d: DestId) -> Tuple[int, ProcId]:
+        """The (dist, hop) pair RTfix would adopt at ``p`` for ``d``."""
+        best = self._cap
+        bh = p
+        for q in self._net.neighbors(p):
+            dq = self.dist[d][q]
+            if dq < best:
+                best = dq
+                bh = q
+        # With best == cap no neighbor improves; keep a domain-valid hop
+        # (smallest neighbor) so next_hop never leaves N_p.
+        if bh == p:
+            bh = self._net.neighbors(p)[0]
+        return min(best + 1, self._cap), bh
+
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        actions: List[Action] = []
+        for d in self._net.processors():
+            if pid == d:
+                if self.dist[d][pid] != 0 or self.hop[d][pid] != pid:
+                    actions.append(self._make_self_action(pid, d))
+            else:
+                new_dist, new_hop = self._target(pid, d)
+                if self.dist[d][pid] != new_dist or self.hop[d][pid] != new_hop:
+                    actions.append(self._make_fix_action(pid, d, new_dist, new_hop))
+        return actions
+
+    def _make_self_action(self, pid: ProcId, d: DestId) -> Action:
+        def effect() -> None:
+            self.dist[d][pid] = 0
+            self.hop[d][pid] = pid
+
+        return Action(
+            pid=pid, rule="RTself", protocol=self.name, effect=effect,
+            info={"dest": d},
+        )
+
+    def _make_fix_action(
+        self, pid: ProcId, d: DestId, new_dist: int, new_hop: ProcId
+    ) -> Action:
+        def effect() -> None:
+            self.dist[d][pid] = new_dist
+            self.hop[d][pid] = new_hop
+
+        return Action(
+            pid=pid, rule="RTfix", protocol=self.name, effect=effect,
+            info={"dest": d, "dist": new_dist, "hop": new_hop},
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "dist": [list(row) for row in self.dist],
+            "hop": [list(row) for row in self.hop],
+        }

@@ -1,0 +1,50 @@
+"""Correct, constant routing tables (the ``R_A = 0`` regime).
+
+:class:`StaticRouting` computes, once, for every destination ``d``, the BFS
+tree ``T_d`` with deterministic smallest-identity tie-breaking — the same
+trees the self-stabilizing protocol converges to — and serves ``nextHop``
+from it.  Used for the Proposition-1 experiments (routing correct from the
+initial configuration) and as the ground truth the analysis module compares
+live tables against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.graph import Network
+from repro.network.properties import bfs_tree
+from repro.routing.table import RoutingService
+from repro.types import DestId, ProcId
+
+
+class StaticRouting(RoutingService):
+    """Immutable correct tables for a network.
+
+    ``next_hop(p, d)`` is the parent of ``p`` in the BFS tree rooted at
+    ``d`` (smallest-id tie-break), i.e. a neighbor of ``p`` strictly closer
+    to ``d``; ``next_hop(d, d) == d``.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self._net = net
+        # _hop[d][p] = parent of p in T_d (None only for p == d).
+        self._hop: List[List[ProcId]] = []
+        for d in net.processors():
+            parent = bfs_tree(net, d)
+            self._hop.append([p if p == d else parent[p] for p in net.processors()])
+
+    @property
+    def network(self) -> Network:
+        """The network the tables were computed for."""
+        return self._net
+
+    def __deepcopy__(self, memo) -> "StaticRouting":
+        # Static tables are immutable; share across deep copies.
+        return self
+
+    def next_hop(self, p: ProcId, d: DestId) -> ProcId:
+        return self._hop[d][p]
+
+    def is_correct(self) -> bool:
+        return True

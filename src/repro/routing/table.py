@@ -1,0 +1,37 @@
+"""The routing interface consumed by forwarding protocols.
+
+SSMFP reads routing information only through ``nextHop_p(d)`` (the paper's
+procedure of the same name).  Any routing provider — static tables, the
+self-stabilizing BFS protocol, or a test double — implements
+:class:`RoutingService`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.types import DestId, ProcId
+
+
+class RoutingService(ABC):
+    """Source of ``nextHop_p(d)`` values.
+
+    The contract matching the paper's model:
+
+    * for ``p != d``, :meth:`next_hop` returns a *neighbor* of ``p`` (the
+      value may be wrong while tables are corrupted, but it is always
+      domain-valid — the usual state-model convention that variables hold
+      type-correct garbage);
+    * for ``p == d`` the value is unused by the forwarding rules (R4 guards
+      on ``p != d``); providers return ``p`` itself by convention.
+    """
+
+    @abstractmethod
+    def next_hop(self, p: ProcId, d: DestId) -> ProcId:
+        """The neighbor ``p`` currently believes leads toward ``d``."""
+
+    @abstractmethod
+    def is_correct(self) -> bool:
+        """True iff every table entry lies on a *minimal* path (ground
+        truth); used by analysis and halting predicates, never by the
+        protocols themselves."""

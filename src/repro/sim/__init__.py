@@ -1,0 +1,35 @@
+"""Simulation assembly, metrics, sweeps and reporting.
+
+:func:`build_simulation` wires a network, a routing provider (static or the
+self-stabilizing protocol, optionally corrupted), the SSMFP core (or a
+baseline), a workload and a daemon into a ready-to-run :class:`Simulation`.
+The experiments and benchmarks are thin layers over this module.
+"""
+
+from repro.sim.runner import (
+    Simulation,
+    build_baseline_simulation,
+    build_simulation,
+    delivered_and_drained,
+)
+from repro.sim.metrics import (
+    RoundClock,
+    delivery_latency_rounds,
+    delivery_latency_steps,
+    moves_per_delivery,
+)
+from repro.sim.campaign import run_sweep
+from repro.sim.reporting import format_table
+
+__all__ = [
+    "Simulation",
+    "build_simulation",
+    "build_baseline_simulation",
+    "delivered_and_drained",
+    "RoundClock",
+    "delivery_latency_rounds",
+    "delivery_latency_steps",
+    "moves_per_delivery",
+    "run_sweep",
+    "format_table",
+]

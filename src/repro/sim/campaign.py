@@ -1,0 +1,66 @@
+"""Parameter sweeps.
+
+A campaign runs one experiment function over a list of configurations and
+collects row dictionaries — the raw material of every table the benchmarks
+print.  Failures are captured per-row (a diverging configuration must not
+take down the whole sweep) unless ``fail_fast`` is set.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+Row = Dict[str, object]
+
+
+def run_sweep(
+    configs: Iterable[Dict[str, object]],
+    runner: Callable[..., Row],
+    fail_fast: bool = True,
+    repeat: int = 1,
+    aggregate: Optional[Callable[[List[Row]], Row]] = None,
+) -> List[Row]:
+    """Run ``runner(**config)`` for every configuration.
+
+    ``repeat`` > 1 reruns each configuration with ``seed`` offset by the
+    repetition index (configurations without a ``seed`` key are run as-is)
+    and reduces the repetitions with ``aggregate`` (default: the row of the
+    *worst* observed value is kept per-key via max for numeric fields —
+    matching the worst-case flavor of the paper's bounds).
+    """
+    rows: List[Row] = []
+    for config in configs:
+        reps: List[Row] = []
+        for r in range(repeat):
+            cfg = dict(config)
+            if repeat > 1 and "seed" in cfg:
+                cfg["seed"] = int(cfg["seed"]) + r  # type: ignore[arg-type]
+            started = time.perf_counter()
+            try:
+                row = runner(**cfg)
+            except Exception as exc:  # noqa: BLE001 - captured per-row
+                if fail_fast:
+                    raise
+                row = {"error": f"{type(exc).__name__}: {exc}"}
+            row.setdefault("elapsed_s", round(time.perf_counter() - started, 3))
+            for key, value in config.items():
+                row.setdefault(key, value)
+            reps.append(row)
+        if repeat == 1:
+            rows.append(reps[0])
+        else:
+            rows.append((aggregate or _max_aggregate)(reps))
+    return rows
+
+
+def _max_aggregate(reps: List[Row]) -> Row:
+    """Default aggregation: per-key max of numeric fields, first value
+    otherwise; adds ``repeats``."""
+    out: Row = dict(reps[0])
+    for rep in reps[1:]:
+        for key, value in rep.items():
+            if isinstance(value, (int, float)) and isinstance(out.get(key), (int, float)):
+                out[key] = max(out[key], value)  # type: ignore[type-var]
+    out["repeats"] = len(reps)
+    return out

@@ -1,0 +1,93 @@
+"""Metrics: latencies in steps and rounds, moves per delivery.
+
+The paper's complexity statements are in *rounds*; the ledger records
+*steps*.  :class:`RoundClock` rebuilds the step→round mapping from the
+trace's round markers so both units are available.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.core.ledger import DeliveryLedger
+from repro.statemodel.trace import TraceRecorder
+
+
+class RoundClock:
+    """Step→round conversion built from a trace's round markers.
+
+    Round ``k`` (1-based) completes at the step carrying the k-th marker;
+    a step before the first marker is in round 1.
+    """
+
+    def __init__(self, trace: TraceRecorder) -> None:
+        self._boundaries: List[int] = [
+            e.step for e in trace.events if e.kind == "round"
+        ]
+
+    def round_of_step(self, step: int) -> int:
+        """The (1-based) round containing ``step``."""
+        return bisect.bisect_right(self._boundaries, step) + 1
+
+    @property
+    def completed_rounds(self) -> int:
+        """Rounds completed in the traced execution."""
+        return len(self._boundaries)
+
+
+def delivery_latency_steps(ledger: DeliveryLedger) -> Dict[int, int]:
+    """Map valid uid -> steps from generation to delivery (delivered only)."""
+    out: Dict[int, int] = {}
+    for uid in _delivered_uids(ledger):
+        lat = ledger.latency_steps(uid)
+        if lat is not None:
+            out[uid] = lat
+    return out
+
+
+def delivery_latency_rounds(
+    ledger: DeliveryLedger, clock: RoundClock
+) -> Dict[int, int]:
+    """Map valid uid -> rounds from generation to delivery."""
+    out: Dict[int, int] = {}
+    for uid in _delivered_uids(ledger):
+        gen = ledger.generation_info(uid)
+        rec = ledger.delivery_record(uid)
+        if gen is None or rec is None:
+            continue
+        out[uid] = clock.round_of_step(rec.step) - clock.round_of_step(gen[2])
+    return out
+
+
+def moves_per_delivery(rule_counts: Dict[str, int], delivered: int) -> Optional[float]:
+    """Forwarding moves (R2+R3 for SSMFP, BF for the baseline) divided by
+    delivered messages; None when nothing was delivered."""
+    if delivered <= 0:
+        return None
+    moves = sum(
+        count
+        for rule, count in rule_counts.items()
+        if rule in ("R2", "R3", "BF", "NF")
+    )
+    return moves / delivered
+
+
+def amortized_rounds_per_delivery(
+    total_rounds: int, delivered: int
+) -> Optional[float]:
+    """The paper's amortized measure (Proposition 7): rounds of the
+    execution divided by messages delivered during it."""
+    if delivered <= 0:
+        return None
+    return total_rounds / delivered
+
+
+def _delivered_uids(ledger: DeliveryLedger) -> List[int]:
+    # Delivered = generated minus outstanding.
+    outstanding = ledger.outstanding_uids()
+    return [
+        uid
+        for uid in range(1, ledger.generated_count + 1)
+        if uid not in outstanding and ledger.generation_info(uid) is not None
+    ]

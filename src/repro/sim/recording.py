@@ -1,0 +1,78 @@
+"""Run records: reproducibility as an artifact.
+
+Because every stochastic element of a simulation is seeded, a *spec*
+(:mod:`repro.sim.spec`) determines the execution bit for bit.  A
+:class:`RunRecord` couples a spec with the outcome fingerprint of one run —
+steps, rounds, per-rule move counts, delivery counts — so anyone can
+re-execute the spec and :func:`verify_record` that they got the identical
+execution.  Records serialize to JSON (``repro record`` / ``repro verify``
+on the command line).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.runner import delivered_and_drained
+from repro.sim.spec import simulation_from_spec
+
+
+@dataclass
+class RunRecord:
+    """A spec plus the outcome fingerprint of one deterministic run."""
+
+    spec: Dict[str, Any]
+    max_steps: int
+    outcome: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        """Parse a record previously produced by :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            spec=data["spec"],
+            max_steps=int(data["max_steps"]),
+            outcome=data.get("outcome", {}),
+        )
+
+
+def _fingerprint(simulation) -> Dict[str, Any]:
+    ledger = simulation.ledger
+    return {
+        "steps": simulation.sim.step_count,
+        "rounds": simulation.sim.round_count,
+        "rule_counts": simulation.sim.rule_counts,
+        "generated": ledger.generated_count,
+        "delivered": ledger.valid_delivered_count,
+        "invalid_delivered": ledger.invalid_delivery_count,
+        "routing_correct": bool(simulation.routing.is_correct()),
+    }
+
+
+def record_run(spec: Dict[str, Any], max_steps: int = 500_000) -> RunRecord:
+    """Execute the spec once and capture its outcome fingerprint."""
+    simulation = simulation_from_spec(spec)
+    simulation.run(max_steps, halt=delivered_and_drained, raise_on_limit=False)
+    return RunRecord(spec=spec, max_steps=max_steps, outcome=_fingerprint(simulation))
+
+
+def verify_record(record: RunRecord) -> List[str]:
+    """Re-run a record's spec; return the list of fingerprint mismatches
+    (empty == bit-identical reproduction)."""
+    simulation = simulation_from_spec(record.spec)
+    simulation.run(
+        record.max_steps, halt=delivered_and_drained, raise_on_limit=False
+    )
+    fresh = _fingerprint(simulation)
+    problems: List[str] = []
+    for key, expected in record.outcome.items():
+        got = fresh.get(key)
+        if got != expected:
+            problems.append(f"{key}: recorded {expected!r}, reproduced {got!r}")
+    return problems

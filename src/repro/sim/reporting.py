@@ -1,0 +1,53 @@
+"""ASCII table rendering for experiment results.
+
+Every benchmark prints its table through :func:`format_table`, so the
+regenerated "figures" of EXPERIMENTS.md all share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    ``columns`` fixes order and selection; by default the union of keys in
+    first-appearance order is used.
+    """
+    if columns is None:
+        cols: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+    else:
+        cols = list(columns)
+    widths = {c: len(c) for c in cols}
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = [_fmt(row.get(c)) for c in cols]
+        rendered.append(line)
+        for c, cell in zip(cols, line):
+            widths[c] = max(widths[c], len(cell))
+    sep = "+".join("-" * (widths[c] + 2) for c in cols)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(c.ljust(widths[c]) for c in cols))
+    out.append(sep)
+    for line in rendered:
+        out.append(" | ".join(cell.ljust(widths[c]) for cell, c in zip(line, cols)))
+    return "\n".join(out)

@@ -1,0 +1,126 @@
+"""Declarative simulation specifications.
+
+A *spec* is a plain JSON-able dictionary describing a complete simulation —
+topology, workload, corruption, daemon, seed — that
+:func:`simulation_from_spec` turns into a ready
+:class:`~repro.sim.runner.Simulation`.  Specs power the recording/replay
+feature (:mod:`repro.sim.recording`) and make campaign definitions
+data, not code.
+
+Schema (all sections optional except ``topology``)::
+
+    {
+      "topology": {"name": "ring", "kwargs": {"n": 8}},
+      "workload": {"name": "uniform", "kwargs": {"count": 20, "seed": 1}},
+      "routing":  {"mode": "selfstab",
+                   "corruption": {"kind": "random", "fraction": 1.0}},
+      "garbage":  {"fraction": 0.4},
+      "scramble_choice_queues": true,
+      "daemon":   {"name": "distributed", "kwargs": {"p_select": 0.5}},
+      "ssmfp":    {"choice_policy": "fifo"},
+      "seed": 7
+    }
+
+The workload ``kwargs`` are passed to the named generator with ``n``
+injected; daemon ``kwargs`` likewise get the seed injected unless given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.app import workload as workload_mod
+from repro.errors import ConfigurationError
+from repro.network.topologies import topology_by_name
+from repro.sim.runner import Simulation, build_simulation
+from repro.statemodel.daemon import (
+    CentralRandomDaemon,
+    DistributedRandomDaemon,
+    RoundRobinDaemon,
+    SynchronousDaemon,
+)
+
+_WORKLOADS = {
+    "uniform": workload_mod.uniform_workload,
+    "permutation": workload_mod.permutation_workload,
+    "hotspot": workload_mod.hotspot_workload,
+    "burst": workload_mod.burst_workload,
+    "single": workload_mod.single_message_workload,
+    "same_payload": workload_mod.adversarial_same_payload_workload,
+}
+
+_DAEMONS = {
+    "synchronous": lambda **kw: SynchronousDaemon(),
+    "round_robin": lambda **kw: RoundRobinDaemon(),
+    "central": lambda seed=0, **kw: CentralRandomDaemon(seed=seed, **kw),
+    "distributed": lambda seed=0, **kw: DistributedRandomDaemon(seed=seed, **kw),
+}
+
+#: Workload generators that take the processor count as first argument.
+_N_FIRST = {"uniform", "permutation", "hotspot", "burst"}
+
+
+def simulation_from_spec(spec: Dict[str, Any]) -> Simulation:
+    """Build a :class:`Simulation` from a declarative spec (see module
+    docstring for the schema)."""
+    if "topology" not in spec:
+        raise ConfigurationError("spec needs a 'topology' section")
+    seed = int(spec.get("seed", 0))
+
+    topo = spec["topology"]
+    net = topology_by_name(topo["name"], **topo.get("kwargs", {}))
+
+    workload = None
+    if "workload" in spec:
+        wl = spec["workload"]
+        name = wl["name"]
+        try:
+            builder = _WORKLOADS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; known: {sorted(_WORKLOADS)}"
+            ) from None
+        kwargs = dict(wl.get("kwargs", {}))
+        if name in _N_FIRST:
+            kwargs.setdefault("seed", seed)
+            workload = builder(net.n, **kwargs)
+        else:
+            workload = builder(**kwargs)
+
+    routing = spec.get("routing", {})
+    routing_mode = routing.get("mode", "selfstab")
+    corruption = routing.get("corruption")
+    if corruption is not None:
+        corruption = dict(corruption)
+        corruption.setdefault("seed", seed)
+
+    garbage = spec.get("garbage")
+    if garbage is not None:
+        garbage = dict(garbage)
+        garbage.setdefault("seed", seed)
+
+    daemon = None
+    if "daemon" in spec:
+        d = spec["daemon"]
+        try:
+            factory = _DAEMONS[d["name"]]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown daemon {d['name']!r}; known: {sorted(_DAEMONS)}"
+            ) from None
+        kwargs = dict(d.get("kwargs", {}))
+        kwargs.setdefault("seed", seed)
+        daemon = factory(**kwargs)
+
+    return build_simulation(
+        net,
+        workload=workload,
+        daemon=daemon,
+        seed=seed,
+        routing_mode=routing_mode,
+        routing_corruption=corruption,
+        garbage=garbage,
+        scramble_choice_queues=bool(spec.get("scramble_choice_queues", False)),
+        ledger_strict=bool(spec.get("ledger_strict", True)),
+        ssmfp_options=spec.get("ssmfp"),
+    )

@@ -1,0 +1,52 @@
+"""Enabled actions as first-class values.
+
+An :class:`Action` is one enabled guarded rule at one processor, with every
+value it will write *already computed* from the configuration snapshot it was
+evaluated against.  Executing the action only applies those writes.  This is
+what gives the engine the paper's atomic-step semantics: when the daemon
+selects several processors in one step, all of their actions were bound
+against the same configuration γ_i, so their combined application yields the
+γ_{i+1} the state model prescribes (each processor writes only its own
+variables, hence no write conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.types import ProcId
+
+
+@dataclass(frozen=True)
+class Action:
+    """One enabled rule instance at one processor.
+
+    Attributes
+    ----------
+    pid:
+        The processor executing the action.
+    rule:
+        Rule label, e.g. ``"R3"`` for SSMFP's forwarding rule.
+    protocol:
+        Name of the protocol the rule belongs to (used by priority
+        composition and by traces).
+    effect:
+        Zero-argument callable applying the precomputed writes.
+    info:
+        Diagnostic payload recorded in traces (destination, message, ...).
+        Never read by the engine.
+    """
+
+    pid: ProcId
+    rule: str
+    protocol: str
+    effect: Callable[[], None]
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> None:
+        """Apply the action's precomputed writes."""
+        self.effect()
+
+    def __repr__(self) -> str:
+        return f"Action(pid={self.pid}, rule={self.rule}, protocol={self.protocol})"

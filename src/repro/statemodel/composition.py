@@ -1,0 +1,49 @@
+"""Priority composition of protocols.
+
+The paper composes the routing algorithm ``A`` with SSMFP so that "a
+processor which has enabled actions for both algorithms always chooses the
+action of A".  :class:`PriorityStack` realizes exactly that: protocols are
+ordered by decreasing priority, and at each processor only the actions of the
+highest-priority protocol with any enabled action are offered to the daemon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.statemodel.action import Action
+from repro.statemodel.protocol import Protocol
+from repro.types import ProcId
+
+
+class PriorityStack:
+    """An ordered collection of protocols with per-processor priority.
+
+    ``protocols[0]`` has the highest priority.  The stack itself satisfies
+    the :class:`~repro.statemodel.protocol.Protocol` action interface used
+    by the simulator.
+    """
+
+    def __init__(self, protocols: Sequence[Protocol]) -> None:
+        if not protocols:
+            raise ValueError("PriorityStack needs at least one protocol")
+        self._protocols: List[Protocol] = list(protocols)
+
+    @property
+    def protocols(self) -> List[Protocol]:
+        """The composed protocols, highest priority first."""
+        return self._protocols
+
+    def before_step(self, step: int) -> None:
+        """Propagate the pre-step hook to every layer (environment moves are
+        not subject to priority)."""
+        for proto in self._protocols:
+            proto.before_step(step)
+
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        """Actions of the highest-priority protocol enabled at ``pid``."""
+        for proto in self._protocols:
+            actions = proto.enabled_actions(pid)
+            if actions:
+                return actions
+        return []

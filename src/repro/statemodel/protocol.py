@@ -1,0 +1,53 @@
+"""The :class:`Protocol` interface implemented by every distributed
+algorithm in this reproduction (routing, SSMFP, baselines).
+
+A protocol owns per-processor local state and exposes, for each processor,
+the list of currently enabled actions.  Actions must follow the binding
+discipline documented in :mod:`repro.statemodel.action`: every value an
+action writes is computed *before* the action is returned, from the current
+configuration, so simultaneous execution keeps snapshot semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List
+
+from repro.statemodel.action import Action
+from repro.types import ProcId
+
+
+class Protocol(ABC):
+    """Base class for state-model protocols.
+
+    Subclasses set :attr:`name` and implement :meth:`enabled_actions`.
+    The optional hooks let protocols model their environment interface
+    (e.g. the higher layer raising ``request_p``) outside of daemon steps.
+    """
+
+    #: Human-readable protocol name; also used by priority composition.
+    name: str = "protocol"
+
+    @abstractmethod
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        """All actions of this protocol currently enabled at ``pid``.
+
+        Must be side-effect free and must bind every value the returned
+        actions will write (snapshot discipline).
+        """
+
+    def before_step(self, step: int) -> None:
+        """Hook invoked by the simulator at the very beginning of each step,
+        before guard evaluation.  Used for environment moves that the paper
+        models outside the daemon (higher-layer requests, fairness-queue
+        bookkeeping).  Default: nothing."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ish dump of protocol state for traces and figure replays.
+        Default: empty."""
+        return {}
+
+    def is_enabled(self, pid: ProcId) -> bool:
+        """True iff at least one action of this protocol is enabled at
+        ``pid``.  Subclasses may override with a cheaper check."""
+        return bool(self.enabled_actions(pid))

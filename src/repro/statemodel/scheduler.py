@@ -1,0 +1,260 @@
+"""The step engine: atomic steps, rounds, termination.
+
+:class:`Simulator` drives a :class:`~repro.statemodel.composition.PriorityStack`
+of protocols under a daemon.  Each :meth:`Simulator.step`:
+
+1. runs the protocols' environment hooks (``before_step``),
+2. evaluates guards of every processor against the current configuration
+   (actions bind all values they will write — snapshot semantics),
+3. asks the daemon for a nonempty selection and validates it,
+4. applies the selected actions simultaneously.
+
+Round accounting follows the paper's definition: a round completes when
+every processor enabled at the round's start has executed an action or been
+*neutralized* (was enabled, became disabled without executing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.errors import ScheduleError, SimulationLimitExceeded
+from repro.statemodel.action import Action
+from repro.statemodel.composition import PriorityStack
+from repro.statemodel.daemon import Daemon, EnabledMap
+from repro.statemodel.protocol import Protocol
+from repro.statemodel.trace import Event, TraceRecorder
+from repro.types import ProcId
+
+
+@dataclass
+class StepReport:
+    """What happened in one step (returned by :meth:`Simulator.step`)."""
+
+    step: int
+    executed: Dict[ProcId, Action]
+    enabled_count: int
+    round_completed: bool
+    terminal: bool = False
+
+
+@dataclass
+class RunResult:
+    """Summary of a :meth:`Simulator.run` call."""
+
+    steps: int
+    rounds: int
+    terminal: bool
+    halted_by_predicate: bool
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class Simulator:
+    """Executes protocols over a fixed set of processors.
+
+    Parameters
+    ----------
+    n:
+        Number of processors (identities ``0..n-1``).
+    protocols:
+        Either a single protocol, a sequence (descending priority), or a
+        prebuilt :class:`PriorityStack`.
+    daemon:
+        The scheduling adversary.
+    trace:
+        Optional :class:`TraceRecorder`; if omitted a fresh unfiltered
+        recorder is created.
+    strict_hooks:
+        Optional per-step invariant checkers, called after every step with
+        the simulator; used by the core tests to machine-check safety after
+        each atomic step.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        protocols: Union[Protocol, Sequence[Protocol], PriorityStack],
+        daemon: Daemon,
+        trace: Optional[TraceRecorder] = None,
+        strict_hooks: Optional[Sequence[Callable[["Simulator"], None]]] = None,
+    ) -> None:
+        if isinstance(protocols, PriorityStack):
+            self._stack = protocols
+        elif isinstance(protocols, Protocol):
+            self._stack = PriorityStack([protocols])
+        else:
+            self._stack = PriorityStack(list(protocols))
+        self._n = n
+        self._daemon = daemon
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._strict_hooks = list(strict_hooks) if strict_hooks else []
+        self._step = 0
+        self._rounds_completed = 0
+        self._round_pending: Optional[Set[ProcId]] = None
+        self._rule_counts: Dict[str, int] = {}
+        self._terminal = False
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self._n
+
+    @property
+    def stack(self) -> PriorityStack:
+        """The composed protocols."""
+        return self._stack
+
+    @property
+    def step_count(self) -> int:
+        """Number of atomic steps executed so far."""
+        return self._step
+
+    @property
+    def round_count(self) -> int:
+        """Number of *completed* rounds so far."""
+        return self._rounds_completed
+
+    @property
+    def rule_counts(self) -> Dict[str, int]:
+        """Histogram of executed rule labels (the paper's "moves")."""
+        return dict(self._rule_counts)
+
+    @property
+    def terminal(self) -> bool:
+        """True once a step found no enabled processor."""
+        return self._terminal
+
+    def enabled_map(self) -> EnabledMap:
+        """Evaluate all guards against the current configuration."""
+        enabled: EnabledMap = {}
+        for pid in range(self._n):
+            actions = self._stack.enabled_actions(pid)
+            if actions:
+                enabled[pid] = actions
+        return enabled
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> StepReport:
+        """Execute one atomic step; returns what happened.
+
+        If no processor is enabled the configuration is terminal: the report
+        has ``terminal=True`` and nothing is executed.
+        """
+        self._stack.before_step(self._step)
+        enabled = self.enabled_map()
+
+        # Round bookkeeping part 1: neutralization.  Any processor still
+        # owed to the current round that is no longer enabled was
+        # neutralized at some earlier step.
+        if self._round_pending is None:
+            self._round_pending = set(enabled)
+        else:
+            self._round_pending &= set(enabled)
+        round_completed = False
+        if not self._round_pending and enabled:
+            # Every debtor executed or was neutralized: a round completed,
+            # the new round starts from the current enabled set.
+            self._rounds_completed += 1
+            self._round_pending = set(enabled)
+            round_completed = True
+            self.trace.record(Event(step=self._step, kind="round"))
+
+        # A configuration is terminal only while nothing is enabled; the
+        # environment (higher layer) may revive it at a later step.
+        self._terminal = not enabled
+        if not enabled:
+            return StepReport(
+                step=self._step,
+                executed={},
+                enabled_count=0,
+                round_completed=round_completed,
+                terminal=True,
+            )
+
+        selection = self._daemon.select(enabled, self._step)
+        self._validate_selection(selection, enabled)
+
+        for pid, action in selection.items():
+            action.execute()
+            self._rule_counts[action.rule] = self._rule_counts.get(action.rule, 0) + 1
+            self.trace.record(
+                Event(
+                    step=self._step,
+                    kind="action",
+                    pid=pid,
+                    rule=action.rule,
+                    protocol=action.protocol,
+                    info=action.info,
+                )
+            )
+
+        # Round bookkeeping part 2: executions pay the round debt.
+        self._round_pending -= set(selection)
+
+        self._step += 1
+        for hook in self._strict_hooks:
+            hook(self)
+        return StepReport(
+            step=self._step - 1,
+            executed=selection,
+            enabled_count=len(enabled),
+            round_completed=round_completed,
+        )
+
+    def run(
+        self,
+        max_steps: int,
+        halt: Optional[Callable[["Simulator"], bool]] = None,
+        raise_on_limit: bool = True,
+    ) -> RunResult:
+        """Run until the configuration is terminal, ``halt`` returns True,
+        or ``max_steps`` elapse.
+
+        ``halt`` is evaluated before each step (so a halt condition already
+        true costs zero steps).  If the step budget is exhausted and
+        ``raise_on_limit`` is set, :class:`SimulationLimitExceeded` is
+        raised with diagnostics.
+        """
+        halted = False
+        for _ in range(max_steps):
+            if halt is not None and halt(self):
+                halted = True
+                break
+            report = self.step()
+            if report.terminal:
+                break
+        else:
+            if halt is not None and halt(self):
+                halted = True
+            elif raise_on_limit:
+                raise SimulationLimitExceeded(
+                    f"no termination within {max_steps} steps "
+                    f"({self._rounds_completed} rounds completed); "
+                    f"rule counts: {self._rule_counts}",
+                    steps=self._step,
+                    rounds=self._rounds_completed,
+                )
+        return RunResult(
+            steps=self._step,
+            rounds=self._rounds_completed,
+            terminal=self._terminal,
+            halted_by_predicate=halted,
+            rule_counts=dict(self._rule_counts),
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _validate_selection(self, selection: Dict[ProcId, Action], enabled: EnabledMap) -> None:
+        if not selection:
+            raise ScheduleError("daemon selected no processor while some are enabled")
+        for pid, action in selection.items():
+            if pid not in enabled:
+                raise ScheduleError(f"daemon selected disabled processor {pid}")
+            if action not in enabled[pid]:
+                raise ScheduleError(
+                    f"daemon selected an action not enabled at {pid}: {action!r}"
+                )

@@ -1,0 +1,91 @@
+"""Execution traces.
+
+The trace recorder captures one :class:`Event` per executed action plus
+round-boundary markers.  Traces power the Figure-3 replay (asserting the
+paper's configurations one by one), the metrics module, and debugging of
+non-terminating runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.types import ProcId
+
+
+@dataclass(frozen=True)
+class Event:
+    """One executed action (or marker) in an execution.
+
+    ``kind`` is ``"action"`` for rule executions, ``"round"`` for round
+    boundaries.  ``info`` carries the action's diagnostic payload.
+    """
+
+    step: int
+    kind: str
+    pid: Optional[ProcId] = None
+    rule: Optional[str] = None
+    protocol: Optional[str] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects events, optionally filtered.
+
+    Parameters
+    ----------
+    predicate:
+        Optional filter; events failing it are dropped.  Round markers are
+        always kept.
+    capacity:
+        Optional bound on stored events; once full, the oldest events are
+        dropped (the recorder keeps a running total either way).
+    """
+
+    def __init__(
+        self,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._predicate = predicate
+        self._capacity = capacity
+        self._events: List[Event] = []
+        self._total = 0
+
+    @property
+    def events(self) -> List[Event]:
+        """The retained events, oldest first."""
+        return self._events
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of events offered to the recorder (before capacity drop)."""
+        return self._total
+
+    def record(self, event: Event) -> None:
+        """Offer one event to the recorder."""
+        if event.kind == "action" and self._predicate is not None:
+            if not self._predicate(event):
+                return
+        self._total += 1
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[: len(self._events) - self._capacity]
+
+    def actions(self) -> List[Event]:
+        """Only the action events."""
+        return [e for e in self._events if e.kind == "action"]
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Histogram of executed rule labels."""
+        counts: Dict[str, int] = {}
+        for e in self._events:
+            if e.kind == "action" and e.rule is not None:
+                counts[e.rule] = counts.get(e.rule, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop all retained events and reset the running total."""
+        self._events.clear()
+        self._total = 0

@@ -1,0 +1,32 @@
+"""Shared type aliases and small value types used across the library.
+
+The whole reproduction works with plain integer processor identities
+(``ProcId``), matching the paper's assumption of an identified network whose
+identity set ``I = {0, ..., n-1}`` is known to every processor.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Identity of a processor.  The paper assumes identities are unique and the
+#: full identity set is known network-wide; we use ``0..n-1``.
+ProcId = int
+
+#: A destination identity (same space as :data:`ProcId`).
+DestId = int
+
+#: An undirected edge, stored with endpoints sorted ascending.
+Edge = Tuple[ProcId, ProcId]
+
+#: A color drawn from ``{0, ..., Δ}`` as used by the SSMFP message flag.
+Color = int
+
+
+def normalized_edge(u: ProcId, v: ProcId) -> Edge:
+    """Return the canonical (sorted) representation of undirected edge (u, v).
+
+    >>> normalized_edge(3, 1)
+    (1, 3)
+    """
+    return (u, v) if u <= v else (v, u)

@@ -1,0 +1,20 @@
+"""Exhaustive verification of small instances.
+
+Random adversarial testing (the rest of the suite) samples executions;
+:mod:`repro.verify.modelcheck` *enumerates* them: a breadth-first search
+over every configuration reachable from a given initial state under every
+daemon choice — including every simultaneous selection — checking the
+safety invariants in each.  On small instances this is genuine model
+checking of the protocol's Lemmas 4-5.
+"""
+
+from repro.verify.liveness import FairLivelock, LivenessChecker, LivenessResult
+from repro.verify.modelcheck import ModelChecker, ModelCheckResult
+
+__all__ = [
+    "ModelChecker",
+    "ModelCheckResult",
+    "LivenessChecker",
+    "LivenessResult",
+    "FairLivelock",
+]

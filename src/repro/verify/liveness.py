@@ -1,0 +1,264 @@
+"""Fairness-aware livelock detection on the reachable state graph.
+
+Safety model checking (:mod:`repro.verify.modelcheck`) asks "is any bad
+configuration reachable?".  Liveness asks "can the adversary keep a valid
+message undelivered *forever*?"  Under a weakly fair daemon the adversary
+must eventually select every continuously enabled processor, so an
+infinite starving execution corresponds to a cycle in the reachable state
+graph in which
+
+* some valid message is outstanding in **every** state of the cycle, and
+* every processor that is enabled in **every** state of the cycle
+  executes in at least one transition of the cycle (otherwise the cycle
+  is not weakly fair — the daemon would be ignoring a continuously
+  enabled processor, which weak fairness forbids).
+
+:class:`LivenessChecker` builds the full reachable graph of a small
+instance (with a replenishing workload so adversarial traffic can recur),
+finds its strongly connected components, and reports any SCC satisfying
+both conditions — a *fair livelock*, i.e. a genuine starvation
+counterexample.  The paper's FIFO ``choice`` makes SSMFP free of them;
+the ``"fixed"`` ablation policy is not (the A2 starvation, now found
+exhaustively).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.verify.modelcheck import _System
+
+
+@dataclass
+class FairLivelock:
+    """One starvation counterexample: an SCC of the reachable graph."""
+
+    states: int
+    starved_uids: Tuple[int, ...]
+    sample_cycle_length: int
+
+
+@dataclass
+class LivenessResult:
+    """Outcome of a liveness exploration."""
+
+    states: int
+    transitions: int
+    sccs: int
+    truncated: bool
+    livelocks: List[FairLivelock] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff exploration completed and no fair livelock exists."""
+        return not self.livelocks and not self.truncated
+
+
+class LivenessChecker:
+    """Exhaustive fair-livelock search (small instances only)."""
+
+    def __init__(
+        self,
+        make_system,
+        max_states: int = 30_000,
+        max_selection_width: int = 1024,
+        ignore_pending: Optional[Set[int]] = None,
+    ) -> None:
+        self._make_system = make_system
+        self._max_states = max_states
+        self._max_width = max_selection_width
+        #: Processors whose pending submissions do not count as starvation
+        #: (deliberately infinite pressure sources of the test harness).
+        self._ignore_pending = frozenset(ignore_pending or ())
+
+    def _fresh(self) -> _System:
+        made = self._make_system()
+        if isinstance(made, tuple):
+            proto, extra = made
+            return _System(proto, extra)
+        return _System(made)
+
+    def _selections(self, enabled: Dict[int, List]) -> List[Dict[int, int]]:
+        pids = sorted(enabled)
+        selections: List[Dict[int, int]] = []
+        for r in range(1, len(pids) + 1):
+            for subset in itertools.combinations(pids, r):
+                ranges = [range(len(enabled[pid])) for pid in subset]
+                for choice in itertools.product(*ranges):
+                    selections.append(dict(zip(subset, choice)))
+                    if len(selections) > self._max_width:
+                        raise ReproError(
+                            f"selection fan-out exceeds {self._max_width}"
+                        )
+        return selections
+
+    # -- graph construction -------------------------------------------------------
+
+    def _explore(self):
+        """Build the reachable graph.  Returns (node data, edges,
+        truncated)."""
+        root = self._fresh()
+        root.advance_env()
+        keys: Dict[Tuple, int] = {root.canon(): 0}
+        systems: List[Optional[_System]] = [root]
+        # Per node: outstanding uid set, set of enabled pids.
+        outstanding: List[FrozenSet[int]] = []
+        enabled_pids: List[FrozenSet[int]] = []
+        # Edges annotated with the executing pid set.
+        edges: List[List[Tuple[int, FrozenSet[int]]]] = []
+        truncated = False
+
+        index = 0
+        while index < len(systems):
+            if index >= self._max_states:
+                truncated = True
+                break
+            system = systems[index]
+            # Starvation targets: generated-but-undelivered uids, plus
+            # *pending submissions* that were never even generated —
+            # encoded as -(p+1) markers (rule R1 starvation, the A2 mode).
+            hl = system.proto.hl
+            pending_markers = frozenset(
+                -(p + 1)
+                for p in range(system.proto.net.n)
+                if p not in self._ignore_pending and hl.pending_count(p) > 0
+            )
+            outstanding.append(
+                frozenset(system.proto.ledger.outstanding_uids())
+                | pending_markers
+            )
+            enabled = {
+                pid: system.stack().enabled_actions(pid)
+                for pid in range(system.proto.net.n)
+            }
+            enabled = {pid: a for pid, a in enabled.items() if a}
+            enabled_pids.append(frozenset(enabled))
+            edges.append([])
+            for selection in self._selections(enabled):
+                child = copy.deepcopy(system)
+                child_enabled = {
+                    pid: child.stack().enabled_actions(pid) for pid in selection
+                }
+                for pid, idx in selection.items():
+                    child_enabled[pid][idx].execute()
+                child.step += 1
+                child.advance_env()
+                key = child.canon()
+                if key in keys:
+                    target = keys[key]
+                else:
+                    target = len(systems)
+                    keys[key] = target
+                    systems.append(child)
+                edges[index].append((target, frozenset(selection)))
+            systems[index] = None  # free memory; only metadata needed now
+            index += 1
+        # Nodes appended beyond the cap have no metadata; trim edges to
+        # explored nodes only.
+        explored = len(edges)
+        for lst in edges:
+            lst[:] = [(t, pids) for t, pids in lst if t < explored]
+        return outstanding, enabled_pids, edges, truncated
+
+    # -- SCC + fairness filtering --------------------------------------------------
+
+    @staticmethod
+    def _sccs(n: int, edges) -> List[List[int]]:
+        """Tarjan (iterative)."""
+        index_counter = [0]
+        stack: List[int] = []
+        lowlink = [0] * n
+        number = [-1] * n
+        on_stack = [False] * n
+        result: List[List[int]] = []
+
+        for root in range(n):
+            if number[root] != -1:
+                continue
+            work = [(root, 0)]
+            while work:
+                node, pi = work[-1]
+                if pi == 0:
+                    number[node] = lowlink[node] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                recurse = False
+                successors = edges[node]
+                while pi < len(successors):
+                    succ = successors[pi][0]
+                    pi += 1
+                    if number[succ] == -1:
+                        work[-1] = (node, pi)
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if on_stack[succ]:
+                        lowlink[node] = min(lowlink[node], number[succ])
+                if recurse:
+                    continue
+                if pi >= len(successors):
+                    if lowlink[node] == number[node]:
+                        comp = []
+                        while True:
+                            w = stack.pop()
+                            on_stack[w] = False
+                            comp.append(w)
+                            if w == node:
+                                break
+                        result.append(comp)
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return result
+
+    def run(self) -> LivenessResult:
+        """Explore and report fair livelocks."""
+        outstanding, enabled_pids, edges, truncated = self._explore()
+        n = len(edges)
+        sccs = self._sccs(n, edges)
+        livelocks: List[FairLivelock] = []
+        for comp in sccs:
+            comp_set = set(comp)
+            internal = [
+                (u, t, pids)
+                for u in comp
+                for t, pids in edges[u]
+                if t in comp_set
+            ]
+            if not internal:
+                continue  # trivial SCC without a self-transition
+            starved = frozenset.intersection(*(outstanding[u] for u in comp))
+            # Positive uids: generated valid messages; negative markers:
+            # submissions whose generation (R1) starves.  Invalid garbage
+            # never appears (only valid uids and markers are tracked).
+            if not starved:
+                continue
+            # Weak fairness: every processor enabled in EVERY state of the
+            # cycle must execute in some internal transition.
+            always_enabled = frozenset.intersection(
+                *(enabled_pids[u] for u in comp)
+            )
+            executed = set()
+            for _, _, pids in internal:
+                executed |= pids
+            if always_enabled.issubset(executed):
+                livelocks.append(
+                    FairLivelock(
+                        states=len(comp),
+                        starved_uids=tuple(sorted(starved)),
+                        sample_cycle_length=len(internal),
+                    )
+                )
+        return LivenessResult(
+            states=n,
+            transitions=sum(len(e) for e in edges),
+            sccs=len(sccs),
+            truncated=truncated,
+            livelocks=livelocks,
+        )

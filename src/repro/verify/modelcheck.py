@@ -1,0 +1,215 @@
+"""Exhaustive state-space exploration of small SSMFP instances.
+
+The checker performs BFS over *every* reachable configuration: from each
+configuration it enumerates every daemon choice the model allows — every
+nonempty subset of enabled processors, every choice of enabled action per
+selected processor, i.e. the full distributed-daemon semantics including
+simultaneity — and applies it to a deep copy of the system.  In every
+visited configuration the safety invariants (Lemmas 4-5 plus
+well-formedness) are checked, the strict ledger arms the exactly-once
+specification, and every *terminal* configuration is required to have
+delivered all generated messages.
+
+This is genuine model checking (bounded only by the instance size), not
+sampling: on a 3-processor line with two same-payload messages it visits
+every configuration the paper's adversary could ever produce.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.invariants import InvariantChecker
+from repro.core.protocol import SSMFP
+from repro.errors import ReproError
+from repro.statemodel.composition import PriorityStack
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of an exhaustive exploration."""
+
+    states: int
+    transitions: int
+    terminal_states: int
+    max_frontier: int
+    truncated: bool
+    #: Human-readable invariant/spec failures with their depth (empty ==
+    #: the instance is exhaustively safe).
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation was found and the search completed."""
+        return not self.violations and not self.truncated
+
+
+class _System:
+    """The deep-copyable bundle the checker explores."""
+
+    def __init__(self, proto: SSMFP, extra_protocols=()) -> None:
+        self.proto = proto
+        self.protocols = list(extra_protocols) + [proto]
+        self.step = 0
+
+    def stack(self) -> PriorityStack:
+        return PriorityStack(self.protocols)
+
+    def advance_env(self) -> None:
+        """The environment phase (requests + queue sync), deterministic."""
+        self.stack().before_step(self.step)
+
+    def canon(self) -> Tuple:
+        """A hashable canonical form of the full configuration."""
+        proto = self.proto
+        buffers = tuple(
+            (d, p, kind, msg.payload, msg.last, msg.color, msg.uid)
+            for d, p, kind, msg in proto.bufs.iter_messages()
+        )
+        queues = tuple(
+            (d, p, proto.queues[d][p].state())
+            for d in proto.net.processors()
+            for p in proto.net.processors()
+            if proto.queues[d][p].state() != ((), ())
+        )
+        hl = proto.hl
+        app = (
+            tuple(tuple(box) for box in hl._outbox),
+            tuple(hl.request),
+        )
+        routing_state: Tuple = ()
+        if hasattr(proto.routing, "dist"):
+            routing_state = (
+                tuple(tuple(row) for row in proto.routing.dist),
+                tuple(tuple(row) for row in proto.routing.hop),
+            )
+        ledger = proto.ledger
+        accounts = (
+            tuple(sorted(ledger.outstanding_uids())),
+            ledger.generated_count,
+            ledger.valid_delivered_count,
+            ledger.invalid_delivery_count,
+        )
+        return (buffers, queues, app, routing_state, accounts)
+
+
+class ModelChecker:
+    """Breadth-first exhaustive exploration.
+
+    Parameters
+    ----------
+    make_system:
+        Zero-argument factory building the *initial* configuration: returns
+        an :class:`SSMFP` instance (with its higher layer already loaded
+        and any corruption applied) or a tuple ``(ssmfp, [higher-priority
+        protocols])``.
+    max_states:
+        Exploration cap; exceeding it marks the result ``truncated``.
+    max_selection_width:
+        Safety valve on the per-state fan-out (number of daemon choices).
+    """
+
+    def __init__(
+        self,
+        make_system,
+        max_states: int = 50_000,
+        max_selection_width: int = 512,
+    ) -> None:
+        self._make_system = make_system
+        self._max_states = max_states
+        self._max_width = max_selection_width
+
+    def _fresh(self) -> _System:
+        made = self._make_system()
+        if isinstance(made, tuple):
+            proto, extra = made
+            return _System(proto, extra)
+        return _System(made)
+
+    def _selections(self, enabled: Dict[int, List]) -> List[Dict[int, int]]:
+        """Every daemon choice: nonempty subset of enabled pids x one
+        enabled action index each."""
+        pids = sorted(enabled)
+        selections: List[Dict[int, int]] = []
+        for r in range(1, len(pids) + 1):
+            for subset in itertools.combinations(pids, r):
+                index_ranges = [range(len(enabled[pid])) for pid in subset]
+                for choice in itertools.product(*index_ranges):
+                    selections.append(dict(zip(subset, choice)))
+                    if len(selections) > self._max_width:
+                        raise ReproError(
+                            f"selection fan-out exceeds {self._max_width}; "
+                            "use a smaller instance"
+                        )
+        return selections
+
+    def run(self) -> ModelCheckResult:
+        """Explore exhaustively; never raises on protocol violations —
+        they are collected into the result."""
+        result = ModelCheckResult(
+            states=0, transitions=0, terminal_states=0,
+            max_frontier=0, truncated=False,
+        )
+        root = self._fresh()
+        root.advance_env()
+        seen = {root.canon()}
+        frontier: deque = deque([(root, 0)])
+
+        while frontier:
+            result.max_frontier = max(result.max_frontier, len(frontier))
+            if result.states >= self._max_states:
+                result.truncated = True
+                break
+            system, depth = frontier.popleft()
+            result.states += 1
+
+            try:
+                InvariantChecker(system.proto).check()
+            except ReproError as exc:
+                result.violations.append(f"depth {depth}: {exc}")
+                continue
+
+            enabled = {
+                pid: system.stack().enabled_actions(pid)
+                for pid in range(system.proto.net.n)
+            }
+            enabled = {pid: acts for pid, acts in enabled.items() if acts}
+            if not enabled:
+                result.terminal_states += 1
+                ledger = system.proto.ledger
+                if not ledger.all_valid_delivered():
+                    result.violations.append(
+                        f"depth {depth}: terminal configuration with "
+                        f"undelivered uids {sorted(ledger.outstanding_uids())}"
+                    )
+                if system.proto.hl.total_pending():
+                    result.violations.append(
+                        f"depth {depth}: terminal configuration with "
+                        f"pending submissions"
+                    )
+                continue
+
+            for selection in self._selections(enabled):
+                child = copy.deepcopy(system)
+                child_enabled = {
+                    pid: child.stack().enabled_actions(pid)
+                    for pid in selection
+                }
+                try:
+                    for pid, action_index in selection.items():
+                        child_enabled[pid][action_index].execute()
+                except ReproError as exc:
+                    result.violations.append(f"depth {depth + 1}: {exc}")
+                    continue
+                result.transitions += 1
+                child.step += 1
+                child.advance_env()
+                key = child.canon()
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((child, depth + 1))
+        return result

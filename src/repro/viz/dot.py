@@ -1,0 +1,72 @@
+"""Graphviz DOT export for networks and buffer graphs.
+
+Pure string generation (no graphviz dependency): feed the output to
+``dot -Tpng`` or any online renderer to get the paper's figures as actual
+pictures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.buffergraph.graph import BufferGraph
+from repro.network.graph import Network
+from repro.routing.table import RoutingService
+from repro.types import DestId
+
+
+def network_to_dot(net: Network, name: str = "network") -> str:
+    """The undirected network as a DOT graph."""
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for p in net.processors():
+        lines.append(f'  n{p} [label="{net.name(p)}"];')
+    for u, v in net.edges:
+        lines.append(f"  n{u} -- n{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def routing_to_dot(
+    net: Network, routing: RoutingService, dest: DestId, name: str = "routing"
+) -> str:
+    """The next-hop functional graph for one destination (the tree T_d —
+    or, with corrupted tables, the cyclic mess Figure 3 starts from)."""
+    lines = [f"digraph {name} {{", "  node [shape=circle];"]
+    for p in net.processors():
+        shape = ' shape=doublecircle' if p == dest else ""
+        lines.append(f'  n{p} [label="{net.name(p)}"{shape}];')
+    for p in net.processors():
+        if p == dest:
+            continue
+        lines.append(f"  n{p} -> n{routing.next_hop(p, dest)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def buffer_graph_to_dot(
+    graph: BufferGraph,
+    net: Optional[Network] = None,
+    name: str = "buffers",
+) -> str:
+    """A buffer graph (e.g. one destination component of the Figure-1/2
+    constructions) as a DOT digraph.  Pass ``net`` to label buffers with
+    processor names instead of ids."""
+
+    def label(buf) -> str:
+        proc = net.name(buf.proc) if net is not None else str(buf.proc)
+        if buf.kind == "single":
+            return f"b_{proc}({buf.dest})"
+        if buf.kind == "class":
+            return f"b{buf.dest}_{proc}"  # dest field holds the class index
+        return f"buf{buf.kind}_{proc}({buf.dest})"
+
+    def node_id(buf) -> str:
+        return f"b_{buf.proc}_{buf.dest}_{buf.kind}"
+
+    lines = [f"digraph {name} {{", "  node [shape=box];"]
+    for buf in graph.nodes:
+        lines.append(f'  {node_id(buf)} [label="{label(buf)}"];')
+    for u, v in graph.edges:
+        lines.append(f"  {node_id(u)} -> {node_id(v)};")
+    lines.append("}")
+    return "\n".join(lines)

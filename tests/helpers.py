@@ -1,0 +1,17 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.app.higher_layer import HigherLayer
+from repro.core.ledger import DeliveryLedger
+from repro.core.protocol import SSMFP
+from repro.routing.static import StaticRouting
+
+
+def make_ssmfp(net, routing=None, **kwargs):
+    """Assemble an SSMFP instance with static routing and fresh
+    higher-layer/ledger (helper for rule-level unit tests)."""
+    routing = routing if routing is not None else StaticRouting(net)
+    hl = HigherLayer(net.n)
+    ledger = DeliveryLedger()
+    return SSMFP(net, routing, hl, ledger, **kwargs)

@@ -1,0 +1,82 @@
+"""Tests for the higher layer (request handshake, delivery sink)."""
+
+import pytest
+
+from repro.app.higher_layer import HigherLayer
+from repro.errors import ConfigurationError
+from repro.statemodel.message import MessageFactory
+
+
+class TestSubmission:
+    def test_submit_queues(self):
+        hl = HigherLayer(3)
+        hl.submit(0, "a", 2)
+        assert hl.pending_count(0) == 1
+        assert hl.total_pending() == 1
+
+    def test_out_of_range_rejected(self):
+        hl = HigherLayer(3)
+        with pytest.raises(ConfigurationError):
+            hl.submit(0, "a", 5)
+
+    def test_self_addressed_delivered_locally(self):
+        hl = HigherLayer(3)
+        hl.submit(1, "me", 1)
+        assert hl.pending_count(1) == 0
+        assert hl.local_deliveries == 1
+
+
+class TestRequestHandshake:
+    def test_request_raised_when_message_waits(self):
+        hl = HigherLayer(2)
+        hl.submit(0, "a", 1)
+        assert not hl.request[0]
+        hl.before_step(0)
+        assert hl.request[0]
+        assert not hl.request[1]
+
+    def test_macros_expose_waiting_message(self):
+        hl = HigherLayer(2)
+        hl.submit(0, "a", 1)
+        assert hl.next_message(0) == "a"
+        assert hl.next_destination(0) == 1
+        assert hl.next_destination(1) is None
+
+    def test_consume_request_pops_and_lowers(self):
+        hl = HigherLayer(2)
+        hl.submit(0, "a", 1)
+        hl.submit(0, "b", 1)
+        hl.before_step(0)
+        payload, dest = hl.consume_request(0)
+        assert (payload, dest) == ("a", 1)
+        assert not hl.request[0]
+        assert hl.next_message(0) == "b"
+
+    def test_consume_empty_outbox_rejected(self):
+        hl = HigherLayer(2)
+        with pytest.raises(ConfigurationError):
+            hl.consume_request(0)
+
+    def test_request_reraised_for_next_message(self):
+        hl = HigherLayer(2)
+        hl.submit(0, "a", 1)
+        hl.submit(0, "b", 1)
+        hl.before_step(0)
+        hl.consume_request(0)
+        hl.before_step(1)
+        assert hl.request[0]
+
+    def test_request_stays_down_when_outbox_empty(self):
+        hl = HigherLayer(2)
+        hl.before_step(0)
+        assert not hl.request[0]
+
+
+class TestDelivery:
+    def test_delivery_logged_and_callback_invoked(self):
+        seen = []
+        hl = HigherLayer(2, on_deliver=lambda p, m, s: seen.append((p, m.payload, s)))
+        msg = MessageFactory().generated("x", 0, 1, 0, 0)
+        hl.deliver(1, msg, step=7)
+        assert seen == [(1, "x", 7)]
+        assert hl.delivered[0][0] == 1

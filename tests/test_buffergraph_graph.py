@@ -1,0 +1,112 @@
+"""Tests for the generic BufferGraph."""
+
+import pytest
+
+from repro.buffergraph.graph import BufferGraph, BufferId
+from repro.errors import TopologyError
+
+
+def b(p, d=0, kind="single"):
+    return BufferId(p, d, kind)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = BufferGraph([b(0), b(1)], [(b(0), b(1))])
+        assert len(g.nodes) == 2
+        assert g.edges == ((b(0), b(1)),)
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(TopologyError, match="unknown buffer"):
+            BufferGraph([b(0)], [(b(0), b(1))])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            BufferGraph([b(0)], [(b(0), b(0))])
+
+    def test_duplicate_edges_deduped(self):
+        g = BufferGraph([b(0), b(1)], [(b(0), b(1)), (b(0), b(1))])
+        assert len(g.edges) == 1
+
+    def test_successors_predecessors(self):
+        g = BufferGraph([b(0), b(1), b(2)], [(b(0), b(1)), (b(2), b(1))])
+        assert g.successors(b(0)) == [b(1)]
+        assert g.predecessors(b(1)) == [b(0), b(2)]
+        assert g.successors(b(1)) == []
+
+
+class TestAcyclicity:
+    def test_dag_is_acyclic(self):
+        g = BufferGraph([b(0), b(1), b(2)], [(b(0), b(1)), (b(1), b(2))])
+        assert g.is_acyclic()
+        order = g.topological_order()
+        assert order.index(b(0)) < order.index(b(1)) < order.index(b(2))
+        assert g.find_cycle() is None
+
+    def test_cycle_detected(self):
+        g = BufferGraph(
+            [b(0), b(1), b(2)],
+            [(b(0), b(1)), (b(1), b(2)), (b(2), b(0))],
+        )
+        assert not g.is_acyclic()
+        assert g.topological_order() is None
+        cycle = g.find_cycle()
+        assert cycle is not None and len(cycle) == 3
+
+    def test_two_cycle_detected(self):
+        g = BufferGraph([b(0), b(1)], [(b(0), b(1)), (b(1), b(0))])
+        cycle = g.find_cycle()
+        assert set(cycle) == {b(0), b(1)}
+
+    def test_cycle_is_closed_walk(self):
+        g = BufferGraph(
+            [b(i) for i in range(5)],
+            [(b(0), b(1)), (b(1), b(2)), (b(2), b(3)), (b(3), b(1)), (b(0), b(4))],
+        )
+        cycle = g.find_cycle()
+        # Verify consecutive membership: each node's successor in the cycle
+        # is a real edge, wrapping around.
+        for i, node in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            assert nxt in g.successors(node)
+
+    def test_empty_graph_acyclic(self):
+        g = BufferGraph([], [])
+        assert g.is_acyclic()
+
+
+class TestComponents:
+    def test_weakly_connected_components(self):
+        g = BufferGraph(
+            [b(0, 0), b(1, 0), b(0, 1), b(1, 1)],
+            [(b(0, 0), b(1, 0)), (b(1, 1), b(0, 1))],
+        )
+        comps = g.weakly_connected_components()
+        assert len(comps) == 2
+        assert {b(0, 0), b(1, 0)} in [set(c) for c in comps]
+
+    def test_isolated_nodes_are_components(self):
+        g = BufferGraph([b(0), b(1, 1)], [])
+        assert len(g.weakly_connected_components()) == 2
+
+    def test_subgraph_for_destination(self):
+        g = BufferGraph(
+            [b(0, 0), b(1, 0), b(0, 1)],
+            [(b(0, 0), b(1, 0))],
+        )
+        sub = g.subgraph_for_destination(0)
+        assert set(sub.nodes) == {b(0, 0), b(1, 0)}
+        assert len(sub.edges) == 1
+
+    def test_repr(self):
+        g = BufferGraph([b(0), b(1)], [(b(0), b(1))])
+        assert "nodes=2" in repr(g)
+
+
+class TestBufferId:
+    def test_ordering_stable(self):
+        ids = sorted([b(1, 0, "R"), b(0, 1, "E"), b(0, 0, "E")])
+        assert ids[0] == b(0, 0, "E")
+
+    def test_repr(self):
+        assert repr(BufferId(2, 5, "R")) == "bufR_2(5)"

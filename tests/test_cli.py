@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("F1", "P4", "T1", "X1", "X2"):
+            assert exp_id in out
+
+
+class TestExperiment:
+    def test_runs_known_experiment(self, capsys):
+        assert main(["experiment", "F1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "ZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_clean_run(self, capsys):
+        code = main(
+            ["simulate", "--topology", "line", "--n", "5",
+             "--messages", "5", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered=5" in out
+        assert "exactly once" in out
+
+    def test_corrupted_run(self, capsys):
+        code = main(
+            ["simulate", "--topology", "ring", "--n", "6", "--messages", "6",
+             "--corrupt", "worst", "--garbage", "0.5", "--seed", "2"]
+        )
+        assert code == 0
+        assert "invalid_delivered=" in capsys.readouterr().out
+
+    def test_watch_prints_component(self, capsys):
+        code = main(
+            ["simulate", "--topology", "line", "--n", "4", "--messages", "4",
+             "--seed", "3", "--watch", "0", "--daemon", "round-robin"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "component:" in out
+
+    def test_hotspot_workload(self, capsys):
+        code = main(
+            ["simulate", "--topology", "star", "--n", "5",
+             "--workload", "hotspot", "--messages", "8", "--seed", "4"]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize("daemon", ["synchronous", "central", "distributed"])
+    def test_all_daemons(self, daemon, capsys):
+        assert main(
+            ["simulate", "--topology", "ring", "--n", "5", "--messages", "4",
+             "--daemon", daemon, "--seed", "5"]
+        ) == 0
+
+    def test_grid_topology_args(self, capsys):
+        assert main(
+            ["simulate", "--topology", "grid", "--rows", "2", "--cols", "3",
+             "--messages", "5", "--seed", "6"]
+        ) == 0

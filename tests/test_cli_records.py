@@ -1,0 +1,64 @@
+"""Tests for the record/verify/all CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = {
+    "topology": {"name": "line", "kwargs": {"n": 4}},
+    "workload": {"name": "uniform", "kwargs": {"count": 4, "seed": 1}},
+    "seed": 5,
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+class TestRecordVerify:
+    def test_record_writes_default_path(self, spec_file, capsys):
+        assert main(["record", str(spec_file)]) == 0
+        record_path = spec_file.parent / "spec.record.json"
+        assert record_path.exists()
+        out = capsys.readouterr().out
+        assert "delivered: 4" in out
+
+    def test_verify_accepts_fresh_record(self, spec_file, tmp_path, capsys):
+        out_path = tmp_path / "r.json"
+        main(["record", str(spec_file), "-o", str(out_path)])
+        assert main(["verify", str(out_path)]) == 0
+        assert "bit-identically" in capsys.readouterr().out
+
+    def test_verify_rejects_tampered_record(self, spec_file, tmp_path, capsys):
+        out_path = tmp_path / "r.json"
+        main(["record", str(spec_file), "-o", str(out_path)])
+        data = json.loads(out_path.read_text())
+        data["outcome"]["steps"] += 1
+        out_path.write_text(json.dumps(data))
+        assert main(["verify", str(out_path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_runs_all_specs(self, tmp_path, capsys):
+        specs = [
+            dict(SPEC, label="a", seed=1),
+            dict(SPEC, label="b", seed=2),
+        ]
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(specs))
+        assert main(["sweep", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+        assert "delivered" in out
+
+    def test_sweep_accepts_wrapped_form(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"specs": [dict(SPEC, label="only")]}))
+        assert main(["sweep", str(path)]) == 0
+        assert "only" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Tests for ForwardingBuffers."""
+
+from repro.core.buffers import ForwardingBuffers
+from repro.statemodel.message import MessageFactory
+
+
+def make_msg(f=None, payload="m", dest=1):
+    f = f or MessageFactory()
+    return f.generated(payload, 0, dest, 0, 0)
+
+
+class TestOccupancy:
+    def test_starts_empty(self):
+        bufs = ForwardingBuffers(3)
+        assert bufs.total_occupied() == 0
+        assert bufs.occupied_in_component(0) == 0
+
+    def test_set_r_counts(self):
+        bufs = ForwardingBuffers(3)
+        bufs.set_r(1, 0, make_msg())
+        assert bufs.occupied_in_component(1) == 1
+        assert bufs.occupied_in_component(0) == 0
+        bufs.set_r(1, 0, None)
+        assert bufs.total_occupied() == 0
+
+    def test_overwrite_does_not_double_count(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        bufs.set_e(1, 2, make_msg(f))
+        bufs.set_e(1, 2, make_msg(f))
+        assert bufs.occupied_in_component(1) == 1
+
+    def test_move_r_to_e_preserves_count(self):
+        bufs = ForwardingBuffers(3)
+        msg = make_msg()
+        bufs.set_r(1, 0, msg)
+        bufs.move_r_to_e(1, 0, msg.recolored(0, 1))
+        assert bufs.occupied_in_component(1) == 1
+        assert bufs.R[1][0] is None
+        assert bufs.E[1][0] is not None
+
+
+class TestIteration:
+    def test_iter_messages_yields_all(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        bufs.set_r(0, 1, make_msg(f, dest=0))
+        bufs.set_e(2, 0, make_msg(f, dest=2))
+        found = {(d, p, k) for d, p, k, _ in bufs.iter_messages()}
+        assert found == {(0, 1, "R"), (2, 0, "E")}
+
+    def test_iter_skips_empty_components(self):
+        bufs = ForwardingBuffers(5)
+        assert list(bufs.iter_messages()) == []
+
+    def test_copies_of_tracks_uid(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        msg = make_msg(f, dest=1)
+        bufs.set_r(1, 0, msg)
+        bufs.set_e(1, 2, msg.forwarded_copy(0))
+        assert set(bufs.copies_of(msg.uid)) == {(1, 0, "R"), (1, 2, "E")}
+        assert bufs.copies_of(999) == []

@@ -1,0 +1,55 @@
+"""Tests for the color_p(d) procedure."""
+
+import pytest
+
+from repro.core.colors import free_color
+from repro.errors import InvariantViolation
+from repro.network.topologies import line_network, star_network
+from repro.statemodel.message import Message
+
+
+def msg(color, p=0, dest=0):
+    return Message(payload="m", last=p, color=color, dest=dest, uid=1, valid=True)
+
+
+class TestFreeColor:
+    def test_empty_neighborhood_gives_zero(self):
+        net = line_network(3)
+        row = [None, None, None]
+        assert free_color(net, row, 1, delta=2) == 0
+
+    def test_avoids_neighbor_reception_colors(self):
+        net = line_network(3)
+        row = [msg(0), None, msg(1)]
+        assert free_color(net, row, 1, delta=2) == 2
+
+    def test_ignores_own_buffer(self):
+        # Only *neighbors'* reception buffers matter.
+        net = line_network(3)
+        row = [None, msg(0), None]
+        assert free_color(net, row, 1, delta=2) == 0
+
+    def test_smallest_free_color(self):
+        net = star_network(4)  # center 0 with leaves 1..3, delta = 3
+        row = [None, msg(1), msg(3), None]
+        assert free_color(net, row, 0, delta=3) == 0
+        row = [None, msg(0), msg(1), msg(2)]
+        assert free_color(net, row, 0, delta=3) == 3
+
+    def test_pigeonhole_always_succeeds_at_max_degree(self):
+        net = star_network(4)
+        # All 3 neighbors occupied with distinct colors: one of 4 remains.
+        row = [None, msg(0), msg(1), msg(2)]
+        assert free_color(net, row, 0, delta=3) in range(4)
+
+    def test_exhausted_colors_raise(self):
+        # Deliberately lie about delta to trigger the defensive error.
+        net = star_network(4)
+        row = [None, msg(0), msg(1), msg(2)]
+        with pytest.raises(InvariantViolation, match="no free color"):
+            free_color(net, row, 0, delta=2)
+
+    def test_duplicate_neighbor_colors_leave_more_room(self):
+        net = star_network(4)
+        row = [None, msg(1), msg(1), msg(1)]
+        assert free_color(net, row, 0, delta=3) == 0

@@ -1,0 +1,92 @@
+"""Tests for the invariant checker (Lemmas 4 & 5 as runtime checks)."""
+
+import pytest
+
+from repro.core.invariants import InvariantChecker
+from repro.errors import InvariantViolation
+from repro.statemodel.message import Message
+
+from tests.helpers import make_ssmfp
+
+
+def gen(proto, source, dest, payload="m", color=0):
+    msg = proto.factory.generated(payload, source, dest, color, 0)
+    proto.ledger.record_generated(msg)
+    return msg
+
+
+class TestWellFormedness:
+    def test_clean_state_passes(self, line5):
+        proto = make_ssmfp(line5)
+        InvariantChecker(proto).check()
+
+    def test_out_of_range_color_caught(self, line5):
+        proto = make_ssmfp(line5)
+        bad = Message(payload="x", last=1, color=99, dest=2, uid=-5, valid=False)
+        proto.bufs.set_r(2, 1, bad)
+        with pytest.raises(InvariantViolation, match="color"):
+            InvariantChecker(proto).check_well_formed()
+
+    def test_non_neighbor_last_caught(self, line5):
+        proto = make_ssmfp(line5)
+        bad = Message(payload="x", last=4, color=0, dest=2, uid=-5, valid=False)
+        proto.bufs.set_r(2, 0, bad)  # 4 is not adjacent to 0 on the line
+        with pytest.raises(InvariantViolation, match="last"):
+            InvariantChecker(proto).check_well_formed()
+
+    def test_mismatched_dest_tag_caught(self, line5):
+        proto = make_ssmfp(line5)
+        bad = Message(payload="x", last=1, color=0, dest=3, uid=-5, valid=False)
+        proto.bufs.set_r(2, 1, bad)  # stored in component 2, tagged 3
+        with pytest.raises(InvariantViolation, match="dest"):
+            InvariantChecker(proto).check_well_formed()
+
+
+class TestLossAndDuplication:
+    def test_outstanding_message_with_copy_passes(self, line5):
+        proto = make_ssmfp(line5)
+        proto.bufs.set_r(3, 0, gen(proto, 0, 3))
+        InvariantChecker(proto).check()
+
+    def test_lost_message_caught(self, line5):
+        proto = make_ssmfp(line5)
+        gen(proto, 0, 3)  # generated, never stored anywhere
+        with pytest.raises(InvariantViolation, match="lost"):
+            InvariantChecker(proto).check_no_loss()
+
+    def test_residual_copy_after_delivery_caught(self, line5):
+        proto = make_ssmfp(line5)
+        msg = gen(proto, 0, 3)
+        proto.ledger.record_delivery(3, msg, step=5)
+        proto.bufs.set_r(3, 1, msg.forwarded_copy(0))
+        with pytest.raises(InvariantViolation, match="delivered but copies"):
+            InvariantChecker(proto).check_no_duplication()
+
+    def test_foreign_component_copy_caught(self, line5):
+        proto = make_ssmfp(line5)
+        msg = gen(proto, 0, 3)
+        # Force the copy into component 2 (violates geometry; dest tag is
+        # checked separately so craft a tag-matching message).
+        wrong = Message(
+            payload=msg.payload, last=0, color=0, dest=2,
+            uid=msg.uid, valid=True, source=0,
+        )
+        proto.bufs.set_r(2, 0, wrong)
+        with pytest.raises(InvariantViolation, match="foreign"):
+            InvariantChecker(proto).check_copy_geometry()
+
+    def test_unrecorded_valid_uid_caught(self, line5):
+        proto = make_ssmfp(line5)
+        ghost = Message(payload="x", last=0, color=0, dest=2, uid=77, valid=True, source=0)
+        proto.bufs.set_r(2, 0, ghost)
+        with pytest.raises(InvariantViolation, match="never recorded"):
+            InvariantChecker(proto).check_copy_geometry()
+
+
+class TestHookAdapter:
+    def test_as_hook_runs_check(self, line5):
+        proto = make_ssmfp(line5)
+        gen(proto, 0, 3)  # lost message
+        hook = InvariantChecker(proto).as_hook()
+        with pytest.raises(InvariantViolation):
+            hook(None)

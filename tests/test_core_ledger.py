@@ -1,0 +1,116 @@
+"""Tests for the exactly-once delivery ledger."""
+
+import pytest
+
+from repro.core.ledger import DeliveryLedger
+from repro.errors import SpecificationViolation
+from repro.statemodel.message import MessageFactory
+
+
+def generated(factory=None, source=0, dest=2, payload="m", step=1):
+    f = factory or MessageFactory()
+    return f.generated(payload, source, dest, 0, step)
+
+
+class TestGenerations:
+    def test_records_generation(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        assert led.generated_count == 1
+        assert led.generation_info(msg.uid) == (0, 2, 1)
+
+    def test_rejects_invalid_message(self):
+        led = DeliveryLedger()
+        f = MessageFactory()
+        with pytest.raises(ValueError):
+            led.record_generated(f.invalid("g", 0, 0, 1))
+
+    def test_outstanding_until_delivered(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        assert led.outstanding_uids() == {msg.uid}
+        assert not led.all_valid_delivered()
+
+
+class TestDeliveries:
+    def test_correct_delivery(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        led.record_delivery(2, msg, step=10)
+        assert led.valid_delivered_count == 1
+        assert led.all_valid_delivered()
+        assert led.latency_steps(msg.uid) == 9
+
+    def test_duplicate_delivery_raises(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        led.record_delivery(2, msg, step=10)
+        with pytest.raises(SpecificationViolation, match="twice"):
+            led.record_delivery(2, msg, step=11)
+
+    def test_wrong_destination_raises(self):
+        led = DeliveryLedger()
+        msg = generated(dest=2)
+        led.record_generated(msg)
+        with pytest.raises(SpecificationViolation, match="destination"):
+            led.record_delivery(3, msg, step=10)
+
+    def test_unknown_uid_raises(self):
+        led = DeliveryLedger()
+        msg = generated()
+        with pytest.raises(SpecificationViolation, match="unknown"):
+            led.record_delivery(2, msg, step=5)
+
+    def test_invalid_deliveries_counted_not_flagged(self):
+        led = DeliveryLedger()
+        f = MessageFactory()
+        g1 = f.invalid("a", 0, 0, dest=1)
+        g2 = f.invalid("b", 0, 0, dest=1)
+        led.record_delivery(1, g1, step=3)
+        led.record_delivery(1, g2, step=4)
+        led.record_delivery(1, g1, step=5)  # invalid dup: allowed
+        assert led.invalid_delivery_count == 3
+        assert led.invalid_deliveries_by_destination() == {1: 3}
+
+    def test_latency_none_when_undelivered(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        assert led.latency_steps(msg.uid) is None
+
+
+class TestNonStrictMode:
+    def test_violations_recorded_not_raised(self):
+        led = DeliveryLedger(strict=False)
+        msg = generated()
+        led.record_generated(msg)
+        led.record_delivery(2, msg, step=1)
+        led.record_delivery(2, msg, step=2)
+        assert any("twice" in v for v in led.violations)
+        # First delivery record kept.
+        assert led.delivery_record(msg.uid).step == 1
+
+    def test_loss_recorded(self):
+        led = DeliveryLedger(strict=False)
+        msg = generated()
+        led.record_generated(msg)
+        led.record_loss(msg, "test erase")
+        assert led.lost_count == 1
+        assert any("lost" in v for v in led.violations)
+
+    def test_loss_strict_raises(self):
+        led = DeliveryLedger()
+        msg = generated()
+        led.record_generated(msg)
+        with pytest.raises(SpecificationViolation, match="lost"):
+            led.record_loss(msg, "test erase")
+
+    def test_loss_of_invalid_ignored(self):
+        led = DeliveryLedger()
+        f = MessageFactory()
+        led.record_loss(f.invalid("g", 0, 0, 1), "cleanup")
+        assert led.lost_count == 0

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    ScheduleError,
+    SimulationLimitExceeded,
+    SpecificationViolation,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TopologyError,
+            ConfigurationError,
+            InvariantViolation,
+            SpecificationViolation,
+            ScheduleError,
+        ],
+    )
+    def test_subclasses_of_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_limit_exceeded_carries_diagnostics(self):
+        err = SimulationLimitExceeded("budget", steps=42, rounds=7)
+        assert err.steps == 42
+        assert err.rounds == 7
+        assert issubclass(SimulationLimitExceeded, ReproError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise TopologyError("x")

@@ -1,0 +1,155 @@
+"""Exhaustive fair-livelock detection tests.
+
+Starvation needs *recurrent* competition, so these tests use a pressure
+harness: designated sources whose outbox never drains (the request is
+re-raised after every generation) and a fixed-uid factory so the state
+space stays finite (the "same" competitor message cycles forever).  The
+victim is an ordinary one-shot message that must eventually get through.
+
+Expected results, exhaustively:
+
+* the paper's FIFO ``choice`` admits **no** weakly-fair cycle in which the
+  victim stays outstanding — starvation-freedom, model-checked;
+* the ``"fixed"`` ablation policy admits one — the A2 starvation as a
+  concrete counterexample cycle.
+"""
+
+import pytest
+
+from repro.app.higher_layer import HigherLayer
+from repro.core.ledger import DeliveryLedger
+from repro.core.protocol import SSMFP
+from repro.network.topologies import line_network
+from repro.routing.static import StaticRouting
+from repro.statemodel.message import Message, MessageFactory
+from repro.verify.liveness import LivenessChecker
+
+
+class FixedUidFactory(MessageFactory):
+    """Valid messages get a uid determined by their source — repeated
+    generations of the pressure stream reuse one identity, keeping the
+    reachable graph finite."""
+
+    def generated(self, payload, source, dest, color, step):
+        return Message(
+            payload=payload, last=source, color=color, dest=dest,
+            uid=1000 + source, valid=True, source=source, born_step=-1,
+        )
+
+
+class PressureHigherLayer(HigherLayer):
+    """Sources in ``replenish`` never exhaust their outbox: generation
+    lowers the request but keeps the message queued, so the next
+    environment phase re-raises it — an infinite stream in finite state."""
+
+    def __init__(self, n, replenish=()):
+        super().__init__(n)
+        self._replenish = frozenset(replenish)
+
+    def consume_request(self, p):
+        if p in self._replenish:
+            item = self._outbox[p][0]
+            self.request[p] = False
+            return item
+        return super().consume_request(p)
+
+
+def make_starvation_instance(policy):
+    """Line 0-1-2: source 0 streams to 2 forever (through 1); victim 1
+    wants to send one message to 2 and competes with 0 for its own
+    reception buffer bufR_1(2).
+
+    For ``aged_fair`` the wait parameters are scaled down (slowdown 1,
+    cap 4) so the wait-age dimension keeps the state space small; the
+    policy is structurally identical at any parameters with
+    ``cap // slowdown`` above the instance's maximal hop count.
+    """
+
+    def factory():
+        net = line_network(3)
+        hl = PressureHigherLayer(net.n, replenish={0})
+        ledger = DeliveryLedger(strict=False)
+        proto = SSMFP(
+            net, StaticRouting(net), hl, ledger,
+            choice_policy=policy,
+            choice_wait_cap=3,  # > the instance's maximal hop count (2)
+            choice_wait_slowdown=1,
+        )
+        proto.factory = FixedUidFactory()
+        hl.submit(0, "stream", 2)
+        hl.submit(1, "victim", 2)
+        return proto
+
+    return factory
+
+
+class TestHarness:
+    def test_pressure_source_never_drains(self):
+        net = line_network(3)
+        hl = PressureHigherLayer(net.n, replenish={0})
+        hl.submit(0, "s", 2)
+        hl.before_step(0)
+        assert hl.request[0]
+        hl.consume_request(0)
+        assert not hl.request[0]
+        hl.before_step(1)
+        assert hl.request[0]  # re-raised: infinite stream
+
+    def test_fixed_uid_factory_reuses_identity(self):
+        f = FixedUidFactory()
+        a = f.generated("x", 0, 3, 0, step=1)
+        b = f.generated("x", 0, 3, 0, step=99)
+        assert a.uid == b.uid == 1000
+        assert a == b  # identical in every canonical field
+
+
+class TestFairLivelocks:
+    VICTIM_MARKER = -2  # pending-submission marker for processor 1
+
+    def _check(self, policy):
+        return LivenessChecker(
+            make_starvation_instance(policy),
+            max_states=60_000,
+            max_selection_width=4000,
+            ignore_pending={0},  # the deliberately infinite pressure source
+        ).run()
+
+    def test_fifo_choice_is_starvation_free(self):
+        """The paper's FIFO queue, exhaustively: no weakly-fair cycle
+        keeps the victim's submission (or any generated message)
+        outstanding forever."""
+        result = self._check("fifo")
+        assert not result.truncated
+        assert result.livelocks == [], result.livelocks
+
+    def test_fixed_choice_has_a_fair_livelock(self):
+        """Ablation A2 as a concrete counterexample cycle: under fixed
+        priority the stream is always served first, and the victim's R1
+        never fires along a 783-state weakly-fair SCC."""
+        result = self._check("fixed")
+        assert not result.truncated
+        assert result.livelocks, "expected the A2 starvation cycle"
+        assert any(
+            self.VICTIM_MARKER in ll.starved_uids for ll in result.livelocks
+        )
+
+    def test_aged_choice_trades_generation_fairness_for_speed(self):
+        """A finding about the X2 future-work variant: age priority speeds
+        up in-flight messages (X2's measurement) but a *generation
+        request* has the lowest age, so a persistent stream outranks it
+        forever — the liveness checker finds the starvation cycle the
+        statistical experiments missed."""
+        result = self._check("aged")
+        assert not result.truncated
+        assert result.livelocks
+        assert any(
+            self.VICTIM_MARKER in ll.starved_uids for ll in result.livelocks
+        )
+
+    def test_aged_fair_choice_is_starvation_free(self):
+        """The constructive fix: aging *requests* by waiting time restores
+        starvation-freedom (exhaustively, at scaled-down wait parameters)
+        while X2 shows it keeps the aged policy's speed."""
+        result = self._check("aged_fair")
+        assert not result.truncated
+        assert result.livelocks == [], result.livelocks

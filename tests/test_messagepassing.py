@@ -1,0 +1,218 @@
+"""Tests for the message-passing substrate and the forwarding port."""
+
+import pytest
+
+from repro.core.ledger import DeliveryLedger
+from repro.errors import ConfigurationError
+from repro.messagepassing.engine import LocalAction, MessagePassingSimulator, MPNode
+from repro.messagepassing.forwarding import (
+    ACCEPT,
+    OFFER,
+    MPForwardingNode,
+    build_mp_network,
+)
+from repro.network.topologies import (
+    grid_network,
+    line_network,
+    random_connected_network,
+    ring_network,
+    star_network,
+)
+from repro.routing.static import StaticRouting
+
+
+class EchoNode(MPNode):
+    """Test node: counts receptions; one local action until fired."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+        self.fired = False
+
+    def on_message(self, frm, payload):
+        self.received.append((frm, payload))
+
+    def local_actions(self):
+        if self.fired:
+            return []
+
+        def effect():
+            self.fired = True
+
+        return [LocalAction(self.pid, "fire", effect)]
+
+
+class TestEngine:
+    def test_node_count_checked(self):
+        net = line_network(3)
+        with pytest.raises(ConfigurationError, match="one node per"):
+            MessagePassingSimulator(net, [EchoNode(0)], seed=0)
+
+    def test_send_requires_edge(self):
+        net = line_network(3)
+        nodes = [EchoNode(p) for p in range(3)]
+        sim = MessagePassingSimulator(net, nodes, seed=0)
+        with pytest.raises(ConfigurationError, match="not an edge"):
+            nodes[0].send(2, "x")
+
+    def test_fifo_per_channel(self):
+        net = line_network(2)
+        nodes = [EchoNode(p) for p in range(2)]
+        sim = MessagePassingSimulator(net, nodes, seed=1)
+        nodes[0].send(1, "first")
+        nodes[0].send(1, "second")
+        while sim.in_flight():
+            sim.step()
+        assert [p for _, p in nodes[1].received] == ["first", "second"]
+
+    def test_local_actions_scheduled(self):
+        net = line_network(2)
+        nodes = [EchoNode(p) for p in range(2)]
+        sim = MessagePassingSimulator(net, nodes, seed=2)
+        sim.run(100)
+        assert all(n.fired for n in nodes)
+
+    def test_quiescence_detected(self):
+        net = line_network(2)
+        nodes = [EchoNode(p) for p in range(2)]
+        sim = MessagePassingSimulator(net, nodes, seed=3)
+        assert sim.run(100)  # fires both actions then quiesces
+        assert not sim.step()
+
+    def test_inject_plants_garbage(self):
+        net = line_network(2)
+        nodes = [EchoNode(p) for p in range(2)]
+        sim = MessagePassingSimulator(net, nodes, seed=4)
+        sim.inject(0, 1, "garbage")
+        assert sim.in_flight() == 1
+
+
+def run_port(net, submissions, seed, max_events=200_000, ledger=None):
+    sim, nodes, ledger = build_mp_network(
+        net, StaticRouting(net), seed=seed, ledger=ledger
+    )
+    for src, payload, dest in submissions:
+        nodes[src].submit(payload, dest)
+    sim.run(max_events, halt=lambda s: ledger.all_valid_delivered()
+            and ledger.generated_count == len(submissions))
+    return sim, nodes, ledger
+
+
+class TestForwardingPortCleanStart:
+    def test_single_message(self):
+        net = line_network(4)
+        _, _, ledger = run_port(net, [(0, "m", 3)], seed=1)
+        assert ledger.valid_delivered_count == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exactly_once_under_asynchrony(self, seed):
+        net = random_connected_network(7, 4, seed=seed)
+        subs = [
+            (s, f"{s}->{d}", d)
+            for s in net.processors()
+            for d in net.processors()
+            if s != d and (s + d + seed) % 3 == 0
+        ]
+        _, _, ledger = run_port(net, subs, seed=seed)
+        assert ledger.generated_count == len(subs)
+        assert ledger.all_valid_delivered()  # strict ledger: exactly once
+
+    def test_same_payload_stream(self):
+        net = line_network(5)
+        subs = [(0, "dup", 4)] * 6
+        _, _, ledger = run_port(net, subs, seed=9)
+        assert ledger.valid_delivered_count == 6
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: ring_network(6),
+            lambda: star_network(6),
+            lambda: grid_network(2, 3),
+        ],
+        ids=["ring", "star", "grid"],
+    )
+    def test_topology_zoo(self, builder):
+        net = builder()
+        subs = [(p, f"m{p}", (p + 2) % net.n) for p in net.processors()
+                if p != (p + 2) % net.n]
+        _, _, ledger = run_port(net, subs, seed=5)
+        assert ledger.all_valid_delivered()
+
+    def test_network_drains(self):
+        net = line_network(4)
+        sim, nodes, ledger = run_port(net, [(0, "m", 3), (3, "w", 0)], seed=2)
+        sim.run(100_000, halt=lambda s: all(n.is_empty() for n in nodes))
+        assert all(node.is_empty() for node in nodes)
+
+
+class TestOpenProblemFailures:
+    """Arbitrary initial channel contents break the port's *liveness* —
+    the concrete face of the open problem the paper names.
+
+    Interestingly, the stop-and-wait handshake is robust in *safety* to a
+    forged ACCEPT (the payload already rides in the earlier-FIFO OFFER, so
+    early erasure still delivers exactly once — measured below).  What
+    garbage does break is liveness: a forged OFFER is accepted into a
+    reception buffer and, with no upstream holder, no RELEASE ever
+    arrives — the buffer is wedged forever and every later valid message
+    through it violates "delivered in a finite time".  SSMFP's rules R2/R5
+    exist precisely to dissolve such orphaned receptions in the state
+    model; the message-passing port has no counterpart, and inventing one
+    that works from arbitrary channel states is the open problem.
+    """
+
+    def test_forged_accept_tolerated_in_safety(self):
+        # Robustness result worth recording: the forged ACCEPT completes
+        # the handshake early, but FIFO ordering already carried the
+        # payload — the message is still delivered exactly once.
+        for seed in range(8):
+            net = line_network(3)
+            ledger = DeliveryLedger()  # strict: raises on any violation
+            sim, nodes, ledger = build_mp_network(
+                net, StaticRouting(net), seed=seed, ledger=ledger
+            )
+            sim.inject(1, 0, (ACCEPT, 2))  # garbage present from step 0
+            nodes[0].submit("m", 2)
+            sim.run(100_000, raise_on_limit=False)
+            assert ledger.valid_delivered_count == 1
+
+    def test_forged_offer_wedges_the_reception_buffer(self):
+        net = line_network(3)
+        ledger = DeliveryLedger(strict=False)
+        sim, nodes, ledger = build_mp_network(
+            net, StaticRouting(net), seed=3, ledger=ledger
+        )
+        # Garbage OFFER in the 1 -> 2 channel: node 2 accepts the phantom
+        # into bufR_2(2); nobody will ever RELEASE it.
+        sim.inject(1, 2, (OFFER, 2, "phantom", -99, False))
+        sim.run(50_000, raise_on_limit=False)
+        rec = nodes[2].buf_r[2]
+        assert rec is not None and rec.payload == "phantom"
+        assert not rec.released  # wedged forever
+
+    def test_wedged_buffer_starves_valid_traffic(self):
+        # The liveness violation: after the phantom wedges bufR_2(2), a
+        # real message to 2 is never delivered.
+        net = line_network(3)
+        ledger = DeliveryLedger(strict=False)
+        sim, nodes, ledger = build_mp_network(
+            net, StaticRouting(net), seed=5, ledger=ledger
+        )
+        sim.inject(1, 2, (OFFER, 2, "phantom", -99, False))
+        nodes[0].submit("real", 2)
+        sim.run(200_000, raise_on_limit=False)
+        assert ledger.generated_count == 1
+        assert not ledger.all_valid_delivered()  # starved: SP's liveness broken
+
+    def test_garbage_of_unknown_kind_is_dropped(self):
+        net = line_network(3)
+        sim, nodes, ledger = build_mp_network(net, StaticRouting(net), seed=7)
+        sim.inject(0, 1, ("NOISE", 2, "x"))
+        nodes[0].submit("m", 2)
+        sim.run(
+            100_000,
+            halt=lambda s: ledger.all_valid_delivered()
+            and ledger.generated_count == 1,
+        )
+        assert ledger.valid_delivered_count == 1

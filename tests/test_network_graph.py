@@ -1,0 +1,106 @@
+"""Tests for repro.network.graph.Network."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.graph import Network
+
+
+class TestConstruction:
+    def test_basic_triangle(self):
+        net = Network(3, [(0, 1), (1, 2), (0, 2)])
+        assert net.n == 3
+        assert net.m == 3
+        assert net.edges == ((0, 1), (0, 2), (1, 2))
+
+    def test_single_processor(self):
+        net = Network(1, [])
+        assert net.n == 1
+        assert net.m == 0
+
+    def test_edges_normalized(self):
+        net = Network(3, [(2, 0), (1, 0), (2, 1)])
+        assert net.edges == ((0, 1), (0, 2), (1, 2))
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(TopologyError):
+            Network(0, [])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(TopologyError, match="out of range"):
+            Network(2, [(0, 2)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            Network(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            Network(2, [(0, 1), (1, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError, match="connected"):
+            Network(4, [(0, 1), (2, 3)])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        net = Network(4, [(0, 3), (0, 1), (0, 2)])
+        assert net.neighbors(0) == (1, 2, 3)
+        assert net.neighbors(2) == (0,)
+
+    def test_degree(self):
+        net = Network(4, [(0, 3), (0, 1), (0, 2)])
+        assert net.degree(0) == 3
+        assert net.degree(1) == 1
+
+    def test_are_neighbors_symmetric(self):
+        net = Network(3, [(0, 1), (1, 2)])
+        assert net.are_neighbors(0, 1)
+        assert net.are_neighbors(1, 0)
+        assert not net.are_neighbors(0, 2)
+
+    def test_processors_iterates_all(self):
+        net = Network(3, [(0, 1), (1, 2)])
+        assert list(net.processors()) == [0, 1, 2]
+
+
+class TestNames:
+    def test_default_names_are_ids(self):
+        net = Network(2, [(0, 1)])
+        assert net.name(0) == "0"
+        assert net.id_of("1") == 1
+
+    def test_custom_names_roundtrip(self):
+        net = Network(3, [(0, 1), (1, 2)], names=["a", "b", "c"])
+        assert net.name(2) == "c"
+        assert net.id_of("b") == 1
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(TopologyError, match="names"):
+            Network(2, [(0, 1)], names=["a"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TopologyError, match="unique"):
+            Network(2, [(0, 1)], names=["a", "a"])
+
+    def test_unknown_name_raises_keyerror(self):
+        net = Network(2, [(0, 1)])
+        with pytest.raises(KeyError):
+            net.id_of("zzz")
+
+
+class TestDunder:
+    def test_equality_by_structure(self):
+        a = Network(3, [(0, 1), (1, 2)])
+        b = Network(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_edges(self):
+        a = Network(3, [(0, 1), (1, 2)])
+        b = Network(3, [(0, 1), (0, 2)])
+        assert a != b
+
+    def test_repr_mentions_sizes(self):
+        assert repr(Network(3, [(0, 1), (1, 2)])) == "Network(n=3, m=2)"

@@ -1,0 +1,98 @@
+"""Tests for graph properties, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.network.properties import (
+    all_pairs_distances,
+    bfs_distances,
+    bfs_tree,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_connected,
+    max_degree,
+)
+from repro.network.topologies import (
+    grid_network,
+    hypercube_network,
+    random_connected_network,
+    ring_network,
+)
+
+
+def to_nx(net):
+    g = nx.Graph()
+    g.add_nodes_from(net.processors())
+    g.add_edges_from(net.edges)
+    return g
+
+
+class TestBfsDistances:
+    def test_line_distances(self, line5=None):
+        from repro.network.topologies import line_network
+
+        net = line_network(5)
+        assert bfs_distances(net, 0) == [0, 1, 2, 3, 4]
+        assert bfs_distances(net, 2) == [2, 1, 0, 1, 2]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        net = random_connected_network(15, 10, seed=seed)
+        g = to_nx(net)
+        for src in (0, 7, 14):
+            expected = nx.single_source_shortest_path_length(g, src)
+            got = bfs_distances(net, src)
+            assert got == [expected[p] for p in net.processors()]
+
+
+class TestBfsTree:
+    def test_root_has_no_parent(self):
+        net = ring_network(5)
+        parent = bfs_tree(net, 0)
+        assert parent[0] is None
+
+    def test_parents_strictly_closer(self):
+        net = random_connected_network(12, 8, seed=2)
+        for root in net.processors():
+            dist = bfs_distances(net, root)
+            parent = bfs_tree(net, root)
+            for p in net.processors():
+                if p == root:
+                    continue
+                assert parent[p] in net.neighbors(p)
+                assert dist[parent[p]] == dist[p] - 1
+
+    def test_smallest_id_tie_break(self):
+        # Ring of 4: processor 2 has neighbors 1 and 3, both at distance 1
+        # from root 0 -> parent must be 1.
+        net = ring_network(4)
+        assert bfs_tree(net, 0)[2] == 1
+
+
+class TestGlobalProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diameter_matches_networkx(self, seed):
+        net = random_connected_network(12, 6, seed=seed)
+        assert diameter(net) == nx.diameter(to_nx(net))
+
+    def test_eccentricity(self):
+        net = grid_network(2, 3)
+        assert eccentricity(net, 0) == 3
+
+    def test_max_degree_hypercube(self):
+        assert max_degree(hypercube_network(4)) == 4
+
+    def test_all_pairs_symmetry(self):
+        net = random_connected_network(10, 5, seed=1)
+        dist = all_pairs_distances(net)
+        for u in net.processors():
+            for v in net.processors():
+                assert dist[u][v] == dist[v][u]
+
+    def test_is_connected_true(self):
+        assert is_connected(ring_network(5))
+
+    def test_degree_histogram_sums_to_n(self):
+        net = random_connected_network(10, 4, seed=3)
+        assert sum(degree_histogram(net).values()) == net.n

@@ -1,0 +1,35 @@
+"""Tests for edge-list validation."""
+
+from repro.network.validation import validate_edge_list
+
+
+class TestValidateEdgeList:
+    def test_clean_list_passes(self):
+        assert validate_edge_list(3, [(0, 1), (1, 2)]) == []
+
+    def test_bad_n(self):
+        problems = validate_edge_list(0, [])
+        assert any("positive" in p for p in problems)
+
+    def test_out_of_range(self):
+        problems = validate_edge_list(2, [(0, 5)])
+        assert any("out of range" in p for p in problems)
+
+    def test_self_loop(self):
+        problems = validate_edge_list(2, [(1, 1), (0, 1)])
+        assert any("self-loop" in p for p in problems)
+
+    def test_duplicate(self):
+        problems = validate_edge_list(2, [(0, 1), (1, 0)])
+        assert any("duplicate" in p for p in problems)
+
+    def test_disconnected(self):
+        problems = validate_edge_list(4, [(0, 1), (2, 3)])
+        assert any("disconnected" in p for p in problems)
+
+    def test_multiple_problems_reported(self):
+        problems = validate_edge_list(4, [(0, 0), (0, 9)])
+        assert len(problems) >= 2
+
+    def test_single_node_ok(self):
+        assert validate_edge_list(1, []) == []

@@ -1,0 +1,58 @@
+"""Tests for StaticRouting."""
+
+import pytest
+
+from repro.network.properties import all_pairs_distances
+from repro.network.topologies import (
+    grid_network,
+    line_network,
+    random_connected_network,
+    ring_network,
+    star_network,
+)
+from repro.routing.static import StaticRouting
+
+
+class TestStaticRouting:
+    def test_line_next_hops(self):
+        net = line_network(4)
+        rt = StaticRouting(net)
+        assert rt.next_hop(0, 3) == 1
+        assert rt.next_hop(1, 3) == 2
+        assert rt.next_hop(3, 0) == 2
+
+    def test_destination_entry_is_self(self):
+        net = ring_network(5)
+        rt = StaticRouting(net)
+        for d in net.processors():
+            assert rt.next_hop(d, d) == d
+
+    def test_always_reports_correct(self):
+        assert StaticRouting(line_network(3)).is_correct()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hops_strictly_decrease_distance(self, seed):
+        net = random_connected_network(12, 8, seed=seed)
+        rt = StaticRouting(net)
+        dist = all_pairs_distances(net)
+        for d in net.processors():
+            for p in net.processors():
+                if p == d:
+                    continue
+                q = rt.next_hop(p, d)
+                assert q in net.neighbors(p)
+                assert dist[q][d] == dist[p][d] - 1
+
+    def test_smallest_id_tie_break(self):
+        # Star: every leaf routes to any other leaf through the center 0.
+        net = star_network(4)
+        rt = StaticRouting(net)
+        assert rt.next_hop(1, 2) == 0
+        # Ring of 4: processor 2 to destination 0 has two shortest paths;
+        # the tie-break picks neighbor 1 over 3.
+        ring = ring_network(4)
+        assert StaticRouting(ring).next_hop(2, 0) == 1
+
+    def test_network_property(self):
+        net = grid_network(2, 2)
+        assert StaticRouting(net).network is net

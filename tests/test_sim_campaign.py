@@ -1,0 +1,80 @@
+"""Tests for the sweep driver and table rendering."""
+
+import pytest
+
+from repro.sim.campaign import run_sweep
+from repro.sim.reporting import format_table
+
+
+class TestRunSweep:
+    def test_runs_each_config(self):
+        rows = run_sweep(
+            [{"x": 1}, {"x": 2}],
+            runner=lambda x: {"double": 2 * x},
+        )
+        assert [r["double"] for r in rows] == [2, 4]
+        # Config echoed into the row.
+        assert rows[0]["x"] == 1
+
+    def test_elapsed_recorded(self):
+        rows = run_sweep([{"x": 1}], runner=lambda x: {})
+        assert "elapsed_s" in rows[0]
+
+    def test_fail_fast_raises(self):
+        def boom(x):
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            run_sweep([{"x": 1}], runner=boom)
+
+    def test_captured_errors(self):
+        def boom(x):
+            raise ValueError("nope")
+
+        rows = run_sweep([{"x": 1}], runner=boom, fail_fast=False)
+        assert "ValueError" in rows[0]["error"]
+
+    def test_repeat_offsets_seed_and_aggregates_max(self):
+        seen = []
+
+        def runner(seed):
+            seen.append(seed)
+            return {"value": seed}
+
+        rows = run_sweep([{"seed": 10}], runner=runner, repeat=3)
+        assert seen == [10, 11, 12]
+        assert rows[0]["value"] == 12  # max aggregation
+        assert rows[0]["repeats"] == 3
+
+    def test_custom_aggregate(self):
+        rows = run_sweep(
+            [{"seed": 0}],
+            runner=lambda seed: {"v": seed},
+            repeat=2,
+            aggregate=lambda reps: {"v": sum(r["v"] for r in reps)},
+        )
+        assert rows[0]["v"] == 1
+
+
+class TestFormatTable:
+    def test_renders_columns_in_order(self):
+        out = format_table([{"a": 1, "b": 2.5}], columns=["b", "a"])
+        lines = out.splitlines()
+        assert lines[0].startswith("b")
+        assert "2.5" in lines[2]
+
+    def test_union_of_keys_default(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in out.splitlines()[0] and "b" in out.splitlines()[0]
+
+    def test_missing_values_dash(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in out
+
+    def test_title_prepended(self):
+        out = format_table([{"a": 1}], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_floats_compact(self):
+        out = format_table([{"x": 0.123456789}])
+        assert "0.123" in out and "0.123456789" not in out

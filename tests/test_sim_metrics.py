@@ -1,0 +1,86 @@
+"""Tests for metrics (round clock, latencies, amortized measures)."""
+
+from repro.app.workload import uniform_workload
+from repro.core.ledger import DeliveryLedger
+from repro.network.topologies import line_network
+from repro.sim.metrics import (
+    RoundClock,
+    amortized_rounds_per_delivery,
+    delivery_latency_rounds,
+    delivery_latency_steps,
+    moves_per_delivery,
+)
+from repro.sim.runner import build_simulation, delivered_and_drained
+from repro.statemodel.message import MessageFactory
+from repro.statemodel.trace import Event, TraceRecorder
+
+
+class TestRoundClock:
+    def test_no_markers_everything_round_one(self):
+        clock = RoundClock(TraceRecorder())
+        assert clock.round_of_step(0) == 1
+        assert clock.round_of_step(100) == 1
+        assert clock.completed_rounds == 0
+
+    def test_rounds_partition_steps(self):
+        tr = TraceRecorder()
+        tr.record(Event(step=4, kind="round"))
+        tr.record(Event(step=9, kind="round"))
+        clock = RoundClock(tr)
+        assert clock.round_of_step(0) == 1
+        assert clock.round_of_step(4) == 2   # marker at step 4 ends round 1
+        assert clock.round_of_step(8) == 2
+        assert clock.round_of_step(9) == 3
+        assert clock.completed_rounds == 2
+
+
+class TestLatencies:
+    def _ledger_with_delivery(self, born=2, delivered=10):
+        led = DeliveryLedger()
+        msg = MessageFactory().generated("x", 0, 1, 0, born)
+        led.record_generated(msg)
+        led.record_delivery(1, msg, step=delivered)
+        return led, msg
+
+    def test_latency_steps(self):
+        led, msg = self._ledger_with_delivery()
+        assert delivery_latency_steps(led) == {msg.uid: 8}
+
+    def test_latency_rounds(self):
+        led, msg = self._ledger_with_delivery(born=0, delivered=9)
+        tr = TraceRecorder()
+        tr.record(Event(step=4, kind="round"))
+        clock = RoundClock(tr)
+        assert delivery_latency_rounds(led, clock) == {msg.uid: 1}
+
+    def test_undelivered_excluded(self):
+        led = DeliveryLedger()
+        led.record_generated(MessageFactory().generated("x", 0, 1, 0, 0))
+        assert delivery_latency_steps(led) == {}
+
+    def test_end_to_end_latencies_nonnegative(self):
+        net = line_network(5)
+        trace = TraceRecorder(predicate=lambda e: False)  # rounds only
+        sim = build_simulation(
+            net, workload=uniform_workload(net.n, 6, seed=1),
+            trace=trace, seed=2,
+        )
+        sim.run(100_000, halt=delivered_and_drained)
+        lat_steps = delivery_latency_steps(sim.ledger)
+        assert len(lat_steps) == 6
+        assert all(v >= 0 for v in lat_steps.values())
+        clock = RoundClock(trace)
+        lat_rounds = delivery_latency_rounds(sim.ledger, clock)
+        assert all(v >= 0 for v in lat_rounds.values())
+
+
+class TestAggregates:
+    def test_moves_per_delivery(self):
+        assert moves_per_delivery({"R2": 6, "R3": 4, "R1": 5}, delivered=5) == 2.0
+
+    def test_moves_per_delivery_zero_delivered(self):
+        assert moves_per_delivery({"R2": 6}, delivered=0) is None
+
+    def test_amortized(self):
+        assert amortized_rounds_per_delivery(30, 10) == 3.0
+        assert amortized_rounds_per_delivery(30, 0) is None

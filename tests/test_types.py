@@ -1,0 +1,18 @@
+"""Tests for repro.types."""
+
+from repro.types import normalized_edge
+
+
+class TestNormalizedEdge:
+    def test_sorted_input_unchanged(self):
+        assert normalized_edge(1, 3) == (1, 3)
+
+    def test_reversed_input_sorted(self):
+        assert normalized_edge(3, 1) == (1, 3)
+
+    def test_equal_endpoints_pass_through(self):
+        # Self-loops are rejected by Network, not here.
+        assert normalized_edge(2, 2) == (2, 2)
+
+    def test_zero_endpoint(self):
+        assert normalized_edge(5, 0) == (0, 5)

@@ -1,0 +1,62 @@
+"""Tests for the DOT exporters."""
+
+from repro.buffergraph.destination_based import destination_based_buffer_graph
+from repro.buffergraph.ssmfp_graph import ssmfp_buffer_graph
+from repro.network.topologies import paper_figure1_network, paper_figure3_network
+from repro.routing.scripted import ScriptedRouting
+from repro.routing.static import StaticRouting
+from repro.viz.dot import buffer_graph_to_dot, network_to_dot, routing_to_dot
+
+
+class TestNetworkDot:
+    def test_undirected_edges(self):
+        net = paper_figure3_network()
+        dot = network_to_dot(net)
+        assert dot.startswith("graph network {")
+        assert dot.count(" -- ") == net.m
+        assert 'label="b"' in dot
+
+    def test_custom_name(self):
+        assert "graph fig3 {" in network_to_dot(paper_figure3_network(), "fig3")
+
+
+class TestRoutingDot:
+    def test_tree_shape(self):
+        net = paper_figure1_network()
+        dot = routing_to_dot(net, StaticRouting(net), dest=0)
+        assert dot.count(" -> ") == net.n - 1
+        assert "doublecircle" in dot  # the destination
+
+    def test_corrupted_cycle_visible(self):
+        net = paper_figure3_network()
+        a, b, c = net.id_of("a"), net.id_of("b"), net.id_of("c")
+        routing = ScriptedRouting(net)
+        routing.set_hop(a, b, c)
+        routing.set_hop(c, b, a)
+        dot = routing_to_dot(net, routing, dest=b)
+        assert f"n{a} -> n{c};" in dot and f"n{c} -> n{a};" in dot
+
+
+class TestBufferGraphDot:
+    def test_destination_based_labels(self):
+        net = paper_figure1_network()
+        graph = destination_based_buffer_graph(net, StaticRouting(net))
+        sub = graph.subgraph_for_destination(1)
+        dot = buffer_graph_to_dot(sub, net)
+        assert "b_a(1)" in dot
+        assert dot.count(" -> ") == len(sub.edges)
+
+    def test_ssmfp_two_buffer_labels(self):
+        net = paper_figure1_network()
+        graph = ssmfp_buffer_graph(net, StaticRouting(net))
+        sub = graph.subgraph_for_destination(1)
+        dot = buffer_graph_to_dot(sub, net)
+        assert "bufR_a(1)" in dot and "bufE_a(1)" in dot
+
+    def test_ids_unique(self):
+        net = paper_figure1_network()
+        graph = ssmfp_buffer_graph(net, StaticRouting(net))
+        dot = buffer_graph_to_dot(graph)
+        node_lines = [l for l in dot.splitlines() if "[label=" in l]
+        ids = [l.split()[0] for l in node_lines]
+        assert len(ids) == len(set(ids)) == len(graph.nodes)
