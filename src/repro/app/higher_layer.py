@@ -54,6 +54,19 @@ class HigherLayer:
         self._on_deliver = on_deliver
         self._delivered: List[Tuple[ProcId, Message, int]] = []
         self._local_deliveries = 0
+        self._on_request_change: Optional[
+            Callable[[ProcId, Optional[DestId]], None]
+        ] = None
+
+    def bind_notifier(
+        self, notify: Optional[Callable[[ProcId, Optional[DestId]], None]]
+    ) -> None:
+        """Install a hook called as ``notify(p, dest)`` whenever the
+        ``request_p`` handshake changes observably — raised by
+        :meth:`before_step` or lowered by :meth:`consume_request` — with
+        ``dest`` the destination the change concerns.  The incremental
+        engine uses it to dirty exactly the affected ``(p, d)`` component."""
+        self._on_request_change = notify
 
     # -- submission ------------------------------------------------------------
 
@@ -87,9 +100,12 @@ class HigherLayer:
         """Environment move: raise ``request_p`` wherever it is false and a
         message waits (the paper lets the higher layer do this at any time;
         doing it every step is the maximally eager environment)."""
+        notify = self._on_request_change
         for p in range(self._n):
             if not self.request[p] and self._outbox[p]:
                 self.request[p] = True
+                if notify is not None:
+                    notify(p, self._outbox[p][0][1])
 
     def next_message(self, p: ProcId) -> Any:
         """The paper's ``nextMessage_p`` macro (payload of the waiting
@@ -108,6 +124,8 @@ class HigherLayer:
             raise ConfigurationError(f"consume_request({p}) with empty outbox")
         item = self._outbox[p].popleft()
         self.request[p] = False
+        if self._on_request_change is not None:
+            self._on_request_change(p, item[1])
         return item
 
     # -- delivery ------------------------------------------------------------

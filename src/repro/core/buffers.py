@@ -5,20 +5,29 @@ and an emission buffer ``bufE_p(d)`` (the paper's two-buffers-per-
 destination scheme, Figure 2).  Storage is indexed ``[d][p]`` and tracks a
 per-destination occupancy count so the protocol can skip idle destination
 components in O(1).
+
+Every mutation goes through :meth:`set_r` / :meth:`set_e` /
+:meth:`move_r_to_e`, so an optional *write notifier* installed with
+:meth:`bind_notifier` sees every buffer write ``(d, p, kind)`` — the hook
+the incremental engine uses to maintain its dirty sets.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.statemodel.message import Message
 from repro.types import DestId, ProcId
+
+#: Write-notification callback: ``(dest, processor, kind)`` with kind in
+#: {"R", "E"} ("E" also covers R2's simultaneous R-empty/E-fill write).
+WriteNotifier = Callable[[DestId, ProcId, str], None]
 
 
 class ForwardingBuffers:
     """All ``bufR``/``bufE`` buffers of one SSMFP instance."""
 
-    __slots__ = ("n", "R", "E", "_occupied")
+    __slots__ = ("n", "R", "E", "_occupied", "_notify")
 
     def __init__(self, n: int) -> None:
         self.n = n
@@ -27,6 +36,11 @@ class ForwardingBuffers:
         #: ``E[d][p]`` — emission buffer of processor p for destination d.
         self.E: List[List[Optional[Message]]] = [[None] * n for _ in range(n)]
         self._occupied = [0] * n
+        self._notify: Optional[WriteNotifier] = None
+
+    def bind_notifier(self, notify: Optional[WriteNotifier]) -> None:
+        """Install (or remove) the write-notification hook."""
+        self._notify = notify
 
     # -- mutation (all buffer writes go through these, keeping counts right) --
 
@@ -35,17 +49,23 @@ class ForwardingBuffers:
         old = self.R[d][p]
         self.R[d][p] = msg
         self._occupied[d] += (msg is not None) - (old is not None)
+        if self._notify is not None:
+            self._notify(d, p, "R")
 
     def set_e(self, d: DestId, p: ProcId, msg: Optional[Message]) -> None:
         """Write ``bufE_p(d)``."""
         old = self.E[d][p]
         self.E[d][p] = msg
         self._occupied[d] += (msg is not None) - (old is not None)
+        if self._notify is not None:
+            self._notify(d, p, "E")
 
     def move_r_to_e(self, d: DestId, p: ProcId, recolored: Message) -> None:
         """Rule R2's simultaneous write: fill ``bufE``, empty ``bufR``."""
         self.E[d][p] = recolored
         self.R[d][p] = None  # occupancy unchanged: one in, one out
+        if self._notify is not None:
+            self._notify(d, p, "E")
 
     # -- queries ------------------------------------------------------------
 

@@ -31,17 +31,25 @@ gracefully toward FIFO under saturation).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.types import ProcId
 
 _POLICIES = ("fifo", "lifo", "fixed", "aged", "aged_fair")
 
+#: Change-notification callback installed by :meth:`FairChoiceQueue.bind_notifier`:
+#: called with the queue's bound key plus an event kind — ``"sync"`` when a
+#: reconciliation changed the observable head, ``"mutate"`` when the queue was
+#: mutated outside reconciliation (serve / force) and therefore needs a
+#: re-sync before the next guard evaluation.
+ChangeNotifier = Callable[[object, str], None]
+
 
 class FairChoiceQueue:
     """Queue of requesters for one reception buffer ``bufR_p(d)``."""
 
-    __slots__ = ("_q", "_policy", "_wait", "_wait_cap", "_wait_slowdown")
+    __slots__ = ("_q", "_policy", "_wait", "_wait_cap", "_wait_slowdown",
+                 "_notify", "_key")
 
     def __init__(
         self,
@@ -62,11 +70,19 @@ class FairChoiceQueue:
         self._wait: Dict[ProcId, int] = {}
         self._wait_cap = wait_cap
         self._wait_slowdown = wait_slowdown
+        self._notify: Optional[ChangeNotifier] = None
+        self._key: object = None
 
     @property
     def policy(self) -> str:
         """The selection policy ("fifo" is the paper's)."""
         return self._policy
+
+    def bind_notifier(self, notify: Optional[ChangeNotifier], key: object) -> None:
+        """Install the change-notification hook; ``key`` identifies this
+        queue to the receiver (SSMFP binds its ``(d, p)`` coordinates)."""
+        self._notify = notify
+        self._key = key
 
     def sync(
         self,
@@ -81,8 +97,10 @@ class FairChoiceQueue:
         waiting message's hop count), FIFO-stable within equal ages.
         """
         cand = set(candidates)
+        head_before = self._q[0] if self._q else None
         if self._policy == "fixed":
             self._q = sorted(cand)
+            self._sync_notify(head_before)
             return
         kept = [x for x in self._q if x in cand]
         fresh = sorted(cand.difference(kept))
@@ -111,6 +129,13 @@ class FairChoiceQueue:
                     arrival[x],
                 ),
             )
+        self._sync_notify(head_before)
+
+    def _sync_notify(self, head_before: Optional[ProcId]) -> None:
+        if self._notify is not None:
+            head_after = self._q[0] if self._q else None
+            if head_after != head_before:
+                self._notify(self._key, "sync")
 
     def head(self) -> Optional[ProcId]:
         """The paper's ``choice_p(d)``: the requester served next, or None
@@ -124,8 +149,11 @@ class FairChoiceQueue:
         try:
             self._q.remove(s)
         except ValueError:
-            pass
+            self._wait.pop(s, None)
+            return
         self._wait.pop(s, None)
+        if self._notify is not None:
+            self._notify(self._key, "mutate")
 
     def items(self) -> List[ProcId]:
         """Current queue contents, head first (diagnostics, corruption)."""
@@ -135,6 +163,8 @@ class FairChoiceQueue:
         """Overwrite the queue (used to model arbitrary initial states)."""
         self._q = list(order)
         self._wait = {}
+        if self._notify is not None:
+            self._notify(self._key, "mutate")
 
     def state(self) -> Tuple:
         """Canonical serialization (order plus wait-ages) for state-space

@@ -11,6 +11,25 @@ and talks to the application through a :class:`~repro.app.HigherLayer`.
 Compose it under a :class:`~repro.statemodel.composition.PriorityStack`
 below the routing protocol to get the paper's ``A ≫ SSMFP`` arrangement.
 
+Incremental engine
+------------------
+Every guard of Algorithm 1 at processor ``p`` reads only the closed
+neighborhood of ``p``: its own buffers and queue head, its neighbors'
+buffers, ``request_p``, and ``nextHop`` entries of ``p`` and its neighbors
+(``last``-hop fields are always in ``N_p ∪ {p}`` — enforced by the
+corruption helpers).  SSMFP therefore opts into the simulator's dirty-set
+protocol: all buffer, queue, request and routing mutations flow through
+notifier hooks, and :meth:`dirty_after` reports exactly the closed
+neighborhoods of the writers.  The same notifications drive *incremental
+queue reconciliation*: ``before_step`` re-syncs only the ``choice`` queues
+whose candidate sets may have changed instead of sweeping every active
+component (the ``aged_fair`` policy is the exception — its wait-ages tick
+once per reconciliation, so it keeps the full per-step sweep; queue-head
+notifications keep guard caching exact even then).  ``next_hop`` lookups
+are cached per ``(d, p)`` and invalidated through the routing observer, so
+``candidates()`` stops re-querying the routing service per neighbor per
+step.  See ``docs/engine.md`` for the locality argument.
+
 Ablation knobs (all default to the paper's design):
 
 * ``enable_colors=False`` — ``color_p(d)`` degenerates to the constant 0
@@ -23,7 +42,7 @@ Ablation knobs (all default to the paper's design):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.app.higher_layer import HigherLayer
 from repro.core.buffers import ForwardingBuffers
@@ -85,6 +104,38 @@ class SSMFP(Protocol):
         self.r5_literal = r5_literal
         self.current_step = 0
 
+        # -- incremental-engine state ---------------------------------------
+        n = net.n
+        #: Whether the routing provider reports its table mutations; without
+        #: that discipline no derived state can be cached safely and the
+        #: protocol behaves exactly like the pre-incremental engine.
+        self._incremental = bool(getattr(routing, "notifies_mutations", False))
+        self._aged = choice_policy in ("aged", "aged_fair")
+        # aged_fair wait-ages advance once per sync, so reconciliation must
+        # stay a full per-step sweep to keep the paper-equivalent semantics.
+        self._sync_every_step = choice_policy == "aged_fair"
+        self._all_dirty = True
+        self._residue_purged = False
+        self._guard_dirty: Set[ProcId] = set()
+        #: Queues to re-sync at the next ``before_step``, per destination.
+        self._resync: Dict[DestId, Set[ProcId]] = {}
+        #: Cached ``next_hop`` values, ``None`` = not yet queried.
+        self._nh_cache: List[List[Optional[ProcId]]] = [
+            [None] * n for _ in range(n)
+        ]
+        #: Closed neighborhood of every processor, precomputed.
+        self._nbhd: List[Tuple[ProcId, ...]] = [
+            (p, *net.neighbors(p)) for p in net.processors()
+        ]
+        if self._incremental:
+            self.bufs.bind_notifier(self._on_buffer_write)
+            self.hl.bind_notifier(self._on_request_change)
+            routing.add_observer(self._on_routing_change)
+            for d in net.processors():
+                row = self.queues[d]
+                for p in net.processors():
+                    row[p].bind_notifier(self._on_queue_event, (d, p))
+
     # -- procedures of Algorithm 1 ------------------------------------------
 
     def pick_color(self, p: ProcId, d: DestId) -> Color:
@@ -93,6 +144,18 @@ class SSMFP(Protocol):
             return 0
         return free_color(self.net, self.bufs.R[d], p, self.delta)
 
+    def next_hop(self, q: ProcId, d: DestId) -> ProcId:
+        """``nextHop_q(d)`` through the per-entry cache (invalidated by the
+        routing observer; bypassed for non-notifying providers)."""
+        if not self._incremental:
+            return self.routing.next_hop(q, d)
+        row = self._nh_cache[d]
+        hop = row[q]
+        if hop is None:
+            hop = self.routing.next_hop(q, d)
+            row[q] = hop
+        return hop
+
     def candidates(self, p: ProcId, d: DestId) -> Set[ProcId]:
         """The requesters ``choice_p(d)`` selects among: neighbors whose
         emission buffer targets ``p``, plus ``p`` itself when it wants to
@@ -100,39 +163,141 @@ class SSMFP(Protocol):
         cand: Set[ProcId] = set()
         buf_e = self.bufs.E[d]
         for q in self.net.neighbors(p):
-            if buf_e[q] is not None and self.routing.next_hop(q, d) == p:
+            if buf_e[q] is not None and self.next_hop(q, d) == p:
                 cand.add(q)
         if self.hl.request[p] and self.hl.next_destination(p) == d:
             cand.add(p)
         return cand
+
+    # -- incremental-engine notification sinks --------------------------------
+
+    def _on_buffer_write(self, d: DestId, p: ProcId, kind: str) -> None:
+        """A buffer of ``p`` in component ``d`` was written.  Guards reading
+        it live in the closed neighborhood of ``p``; emission-buffer writes
+        also change the candidate sets of ``p``'s neighbors."""
+        if self._all_dirty:
+            return
+        nbhd = self._nbhd[p]
+        self._guard_dirty.update(nbhd)
+        if kind != "R":
+            self._resync.setdefault(d, set()).update(nbhd)
+
+    def _on_queue_event(self, key, kind: str) -> None:
+        """``choice_p(d)`` changed.  Only ``p``'s own guards read the head;
+        out-of-sync mutations (serve/force) additionally require the queue
+        to be reconciled before the next guard evaluation."""
+        if self._all_dirty:
+            return
+        d, p = key
+        self._guard_dirty.add(p)
+        if kind == "mutate":
+            self._resync.setdefault(d, set()).add(p)
+
+    def _on_request_change(self, p: ProcId, dest: Optional[DestId]) -> None:
+        """``request_p`` was raised or lowered for destination ``dest``."""
+        if self._all_dirty:
+            return
+        self._guard_dirty.add(p)
+        if dest is not None:
+            self._resync.setdefault(dest, set()).add(p)
+
+    def _on_routing_change(self, p: Optional[ProcId], d: Optional[DestId]) -> None:
+        """``nextHop_p(d)`` moved (or, with ``(None, None)``, the whole
+        table was rewritten).  Invalidate the hop cache and dirty every
+        reader: ``p``'s own R4 guard, the candidate sets of ``p``'s
+        neighbors, and R5 at holders of copies last forwarded by ``p``
+        (always within the closed neighborhood)."""
+        if p is None or d is None:
+            for row in self._nh_cache:
+                for i in range(len(row)):
+                    row[i] = None
+            self.mark_all_dirty()
+            return
+        self._nh_cache[d][p] = None
+        if self._all_dirty:
+            return
+        nbhd = self._nbhd[p]
+        self._guard_dirty.update(nbhd)
+        self._resync.setdefault(d, set()).update(nbhd)
+
+    def mark_all_dirty(self) -> None:
+        """Fall back to a full re-scan and full queue reconciliation at the
+        next step — the hatch for mutations outside the notifier hooks."""
+        self._all_dirty = True
+        self._guard_dirty.clear()
+        self._resync.clear()
+
+    def dirty_after(self, selection) -> Optional[Set[ProcId]]:
+        if not self._incremental:
+            return None
+        if self._all_dirty:
+            self._all_dirty = False
+            self._guard_dirty.clear()
+            return None
+        dirty = self._guard_dirty
+        self._guard_dirty = set()
+        return dirty
 
     # -- Protocol interface ------------------------------------------------------
 
     def before_step(self, step: int) -> None:
         """Environment phase: raise requests, reconcile choice queues.
 
-        Only destination components that can possibly act (occupied buffers
-        or a pending request) are reconciled — idle components have no
-        candidates by definition, and their rules' guards are all false.
+        With the incremental engine, only queues whose candidate sets may
+        have changed since the previous step (recorded by the notifier
+        hooks) are reconciled; otherwise every destination component that
+        can possibly act (occupied buffers or a pending request) is swept —
+        idle components have no candidates by definition, and their rules'
+        guards are all false.
         """
         self.current_step = step
         self.hl.before_step(step)
+        if self._incremental and not self._all_dirty and not self._sync_every_step:
+            resync = self._resync
+            if resync:
+                self._resync = {}
+                for d, procs in resync.items():
+                    for p in procs:
+                        self._sync_queue(d, p)
+        else:
+            self._resync.clear()
+            self._full_reconcile()
+
+    def _full_reconcile(self) -> None:
+        """Reconcile every queue of every active destination component."""
         active = self.active_destinations()
-        aged = self._choice_policy in ("aged", "aged_fair")
+        procs = self.net.processors()
         for d in active:
-            queues_d = self.queues[d]
+            for p in procs:
+                self._sync_queue(d, p)
+        if self._incremental and not self._residue_purged and not self._sync_every_step:
+            # One-time purge of scrambled initial queue entries in *inactive*
+            # components.  The classic engine removes them lazily the step
+            # the component activates (with no emission buffer occupied and
+            # no request yet, every stale entry is a non-candidate); purging
+            # now is trace-equivalent because guards never read queues of
+            # inactive components, and it keeps the incremental resync
+            # channel free of pre-execution residue.  aged_fair skips this:
+            # it full-reconciles every step, so residue is handled exactly
+            # like the classic engine already.
+            self._residue_purged = True
+            for d in procs:
+                if d not in active:
+                    for p in procs:
+                        self._sync_queue(d, p)
+
+    def _sync_queue(self, d: DestId, p: ProcId) -> None:
+        cand = self.candidates(p, d)
+        if self._aged:
             buf_e = self.bufs.E[d]
-            for p in self.net.processors():
-                cand = self.candidates(p, d)
-                if aged:
-                    priority = {
-                        q: buf_e[q].hops
-                        for q in cand
-                        if q != p and buf_e[q] is not None
-                    }
-                    queues_d[p].sync(cand, priority)
-                else:
-                    queues_d[p].sync(cand)
+            priority = {
+                q: buf_e[q].hops
+                for q in cand
+                if q != p and buf_e[q] is not None
+            }
+            self.queues[d][p].sync(cand, priority)
+        else:
+            self.queues[d][p].sync(cand)
 
     def active_destinations(self) -> Set[DestId]:
         """Destinations whose component holds messages or has a pending

@@ -42,10 +42,11 @@ def rule_r1(proto: "SSMFP", p: ProcId, d: DestId) -> Optional[Action]:
     if proto.queues[d][p].head() != p:
         return None
     payload = hl.next_message(p)
-    step = proto.current_step
 
     def effect() -> None:
-        msg = proto.factory.generated(payload, p, d, color=0, step=step)
+        # current_step is read at effect time: with guard caching the action
+        # may have been evaluated at an earlier step than it executes.
+        msg = proto.factory.generated(payload, p, d, color=0, step=proto.current_step)
         proto.bufs.set_r(d, p, msg)
         hl.consume_request(p)
         proto.queues[d][p].serve(p)
@@ -111,7 +112,7 @@ def rule_r4(proto: "SSMFP", p: ProcId, d: DestId) -> Optional[Action]:
     msg = proto.bufs.E[d][p]
     if msg is None:
         return None
-    nh = proto.routing.next_hop(p, d)
+    nh = proto.next_hop(p, d)
     target = proto.bufs.R[d][nh]
     if target is None or not target.matches(msg.payload, p, msg.color):
         return None
@@ -160,7 +161,7 @@ def rule_r5(proto: "SSMFP", p: ProcId, d: DestId) -> Optional[Action]:
     source_e = proto.bufs.E[d][q]
     if source_e is None or not source_e.same_payload_color(msg):
         return None
-    if proto.routing.next_hop(q, d) == p:
+    if proto.next_hop(q, d) == p:
         return None
 
     def effect() -> None:
@@ -182,9 +183,10 @@ def rule_r6(proto: "SSMFP", p: ProcId, d: DestId) -> Optional[Action]:
     msg = proto.bufs.E[d][p]
     if msg is None:
         return None
-    step = proto.current_step
 
     def effect() -> None:
+        # Effect-time step read — see rule_r1.
+        step = proto.current_step
         proto.bufs.set_e(d, p, None)
         proto.hl.deliver(p, msg, step)
         proto.ledger.record_delivery(p, msg, step)

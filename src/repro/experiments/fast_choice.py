@@ -48,7 +48,7 @@ def _contended_probe_workload(n: int, per_source: int) -> Workload:
 def run_one(policy: str, n: int, per_source: int, seed: int) -> Dict[str, object]:
     """One probe run under the given choice policy."""
     net = line_network(n)
-    trace = TraceRecorder(predicate=lambda e: False)
+    trace = TraceRecorder(kinds=("round",))  # round markers only; skips action Events
     sim = build_simulation(
         net,
         workload=_contended_probe_workload(n, per_source),

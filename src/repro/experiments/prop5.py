@@ -89,7 +89,7 @@ def run_one(
     """One probe run; returns the measured row."""
     net = TOPOLOGIES[topology]()
     workload, src, dest = _probe_workload(net, contention_per_source)
-    trace = TraceRecorder(predicate=lambda e: False)  # round markers only
+    trace = TraceRecorder(kinds=("round",))  # round markers only; skips action Events
     sim = build_simulation(
         net,
         workload=workload,

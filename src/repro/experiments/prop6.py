@@ -54,7 +54,7 @@ def run_one(topology: str, corrupted: bool, seed: int, stream: int = 4) -> Dict[
         subs.append((0, p, f"bg{p}.1", dest))
     workload = Workload("saturation", subs)
 
-    trace = TraceRecorder(predicate=lambda e: False)
+    trace = TraceRecorder(kinds=("round",))  # round markers only; skips action Events
     sim = build_simulation(
         net,
         workload=workload,

@@ -42,6 +42,7 @@ def corrupt_random(
             routing.dist[d][p] = rng.randrange(net.n)
             routing.hop[d][p] = rng.choice(net.neighbors(p))
             hit += 1
+    routing.invalidate()
     return hit
 
 
@@ -69,6 +70,7 @@ def corrupt_with_cycle(
             raise ValueError("the destination cannot be part of its own cycle")
         routing.hop[dest][p] = q
         routing.dist[dest][p] = max(1, (net.n - 1) - i % max(net.n - 1, 1))
+    routing.invalidate()
 
 
 def corrupt_worst_case(
@@ -92,3 +94,4 @@ def corrupt_worst_case(
         # The destination's own entry is corrupted too.
         routing.dist[d][d] = rng.randrange(1, max(net.n, 2))
         routing.hop[d][d] = rng.choice(net.neighbors(d))
+    routing.invalidate()

@@ -25,6 +25,8 @@ from repro.types import DestId, ProcId
 class ScriptedRouting(RoutingService):
     """Correct tables plus externally scripted overrides."""
 
+    notifies_mutations = True
+
     def __init__(self, net: Network) -> None:
         self._net = net
         self._static = StaticRouting(net)
@@ -40,14 +42,19 @@ class ScriptedRouting(RoutingService):
         if q not in self._net.neighbors(p):
             raise ValueError(f"{q} is not a neighbor of {p}")
         self._overrides[(p, d)] = q
+        self._notify_entry(p, d)
 
     def repair(self, p: ProcId, d: DestId) -> None:
         """Remove one override (that entry reads correct again)."""
-        self._overrides.pop((p, d), None)
+        if self._overrides.pop((p, d), None) is not None:
+            self._notify_entry(p, d)
 
     def repair_all(self) -> None:
         """The figure's "routing tables are repaired" moment."""
+        repaired = list(self._overrides)
         self._overrides.clear()
+        for p, d in repaired:
+            self._notify_entry(p, d)
 
     def next_hop(self, p: ProcId, d: DestId) -> ProcId:
         return self._overrides.get((p, d), self._static.next_hop(p, d))

@@ -26,7 +26,7 @@ value, even from corrupted states.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.network.graph import Network
 from repro.network.properties import all_pairs_distances
@@ -41,10 +41,12 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
 
     The instance starts *converged* (correct tables); use the functions in
     :mod:`repro.routing.corruption` to scramble it into an adversarial
-    initial configuration.
+    initial configuration (they call :meth:`invalidate` so the incremental
+    engine re-scans).
     """
 
     name = "A"
+    notifies_mutations = True
 
     def __init__(self, net: Network) -> None:
         self._net = net
@@ -63,6 +65,33 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
                 else:
                     row.append(min(q for q in net.neighbors(p) if td[q] == td[p] - 1))
             self.hop.append(row)
+        # Incremental-engine bookkeeping: processors whose *own* guards may
+        # have changed since the last drain (None = anything, the safe
+        # initial state — external code may have scrambled the tables).
+        self._dirty: Optional[Set[ProcId]] = None
+
+    # -- incremental-engine hooks -------------------------------------------
+
+    def invalidate(self) -> None:
+        """Declare the whole table externally rewritten: every guard of this
+        protocol goes dirty and every observer (e.g. SSMFP's ``next_hop``
+        cache) is told to drop derived state.  The corruption helpers and
+        the fault injector call this after writing ``dist``/``hop`` rows
+        directly."""
+        self._dirty = None
+        self._notify_all()
+
+    def _mark_dirty(self, p: ProcId) -> None:
+        """RTfix at ``q`` reads ``dist_r(d)`` of every neighbor ``r``, so a
+        write at ``p`` dirties the closed neighborhood of ``p``."""
+        if self._dirty is not None:
+            self._dirty.add(p)
+            self._dirty.update(self._net.neighbors(p))
+
+    def dirty_after(self, selection) -> Optional[Set[ProcId]]:
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
 
     # -- RoutingService ------------------------------------------------------
 
@@ -125,8 +154,7 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
 
     def _make_self_action(self, pid: ProcId, d: DestId) -> Action:
         def effect() -> None:
-            self.dist[d][pid] = 0
-            self.hop[d][pid] = pid
+            self._write(d, pid, 0, pid)
 
         return Action(
             pid=pid, rule="RTself", protocol=self.name, effect=effect,
@@ -137,13 +165,23 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         self, pid: ProcId, d: DestId, new_dist: int, new_hop: ProcId
     ) -> Action:
         def effect() -> None:
-            self.dist[d][pid] = new_dist
-            self.hop[d][pid] = new_hop
+            self._write(d, pid, new_dist, new_hop)
 
         return Action(
             pid=pid, rule="RTfix", protocol=self.name, effect=effect,
             info={"dest": d, "dist": new_dist, "hop": new_hop},
         )
+
+    def _write(self, d: DestId, p: ProcId, new_dist: int, new_hop: ProcId) -> None:
+        """Apply one table write, feeding both dirty channels: this
+        protocol's own guards (closed neighborhood) and, when the hop
+        actually moved, the observers reading ``next_hop``."""
+        hop_changed = self.hop[d][p] != new_hop
+        self.dist[d][p] = new_dist
+        self.hop[d][p] = new_hop
+        self._mark_dirty(p)
+        if hop_changed:
+            self._notify_entry(p, d)
 
     def snapshot(self) -> Dict[str, object]:
         return {

@@ -26,6 +26,9 @@ class StaticRouting(RoutingService):
     to ``d``; ``next_hop(d, d) == d``.
     """
 
+    # Immutable tables: "every mutation is reported" holds vacuously.
+    notifies_mutations = True
+
     def __init__(self, net: Network) -> None:
         self._net = net
         # _hop[d][p] = parent of p in T_d (None only for p == d).

@@ -4,13 +4,29 @@ SSMFP reads routing information only through ``nextHop_p(d)`` (the paper's
 procedure of the same name).  Any routing provider — static tables, the
 self-stabilizing BFS protocol, or a test double — implements
 :class:`RoutingService`.
+
+Change observation
+------------------
+The incremental engine caches ``next_hop`` values and enabled-action sets,
+so it must learn when a table entry moves.  :class:`RoutingService` carries
+a lightweight observer mechanism: consumers register a callback with
+:meth:`add_observer`; providers that mutate their tables call
+:meth:`_notify_entry` per changed entry (or :meth:`_notify_all` for bulk
+rewrites) and advertise the discipline with ``notifies_mutations = True``.
+Providers that leave the flag False (the safe default for out-of-tree
+subclasses) simply disable incremental caching in their consumers.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
 
 from repro.types import DestId, ProcId
+
+#: Observer callback: ``(p, d)`` for a single rewritten entry
+#: ``nextHop_p(d)``; ``(None, None)`` when the whole table may have changed.
+RoutingObserver = Callable[[Optional[ProcId], Optional[DestId]], None]
 
 
 class RoutingService(ABC):
@@ -26,6 +42,11 @@ class RoutingService(ABC):
       on ``p != d``); providers return ``p`` itself by convention.
     """
 
+    #: True iff every mutation of this provider's tables is reported to the
+    #: registered observers.  Consumers may cache ``next_hop`` values and
+    #: derived state only when this holds.
+    notifies_mutations: bool = False
+
     @abstractmethod
     def next_hop(self, p: ProcId, d: DestId) -> ProcId:
         """The neighbor ``p`` currently believes leads toward ``d``."""
@@ -35,3 +56,25 @@ class RoutingService(ABC):
         """True iff every table entry lies on a *minimal* path (ground
         truth); used by analysis and halting predicates, never by the
         protocols themselves."""
+
+    # -- change observation (storage is lazy so subclasses need not call
+    # -- super().__init__) ---------------------------------------------------
+
+    def add_observer(self, observer: RoutingObserver) -> None:
+        """Register a table-change observer."""
+        observers: List[RoutingObserver]
+        observers = getattr(self, "_routing_observers", None)  # type: ignore[assignment]
+        if observers is None:
+            observers = []
+            setattr(self, "_routing_observers", observers)
+        observers.append(observer)
+
+    def _notify_entry(self, p: ProcId, d: DestId) -> None:
+        """Report that ``nextHop_p(d)`` changed."""
+        for observer in getattr(self, "_routing_observers", ()):
+            observer(p, d)
+
+    def _notify_all(self) -> None:
+        """Report a bulk rewrite (corruption, repair-all)."""
+        for observer in getattr(self, "_routing_observers", ()):
+            observer(None, None)

@@ -4,12 +4,20 @@ A campaign runs one experiment function over a list of configurations and
 collects row dictionaries — the raw material of every table the benchmarks
 print.  Failures are captured per-row (a diverging configuration must not
 take down the whole sweep) unless ``fail_fast`` is set.
+
+``run_sweep(..., workers=N)`` fans the configurations out over a process
+pool: each configuration (with all its repeats) runs in a worker, rows come
+back in configuration order, and the per-repeat seed offsets are identical
+to a serial sweep — so a parallel sweep returns the same rows as a serial
+one, modulo wall-clock ``elapsed_s``.  The runner must be picklable (a
+module-level function, not a lambda or closure).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 Row = Dict[str, object]
 
@@ -20,47 +28,92 @@ def run_sweep(
     fail_fast: bool = True,
     repeat: int = 1,
     aggregate: Optional[Callable[[List[Row]], Row]] = None,
+    workers: Optional[int] = None,
 ) -> List[Row]:
     """Run ``runner(**config)`` for every configuration.
 
     ``repeat`` > 1 reruns each configuration with ``seed`` offset by the
     repetition index (configurations without a ``seed`` key are run as-is)
-    and reduces the repetitions with ``aggregate`` (default: the row of the
-    *worst* observed value is kept per-key via max for numeric fields —
-    matching the worst-case flavor of the paper's bounds).
+    and reduces the repetitions with ``aggregate`` (default: worst observed
+    value per *result* metric via max — matching the worst-case flavor of
+    the paper's bounds — with ``elapsed_s`` summed across the repetitions
+    and configuration-echo keys left untouched).
+
+    ``workers`` > 1 distributes configurations over that many worker
+    processes; row order and values are identical to the serial sweep
+    (``elapsed_s`` aside).  With ``fail_fast`` the first failing
+    configuration's exception is re-raised in the parent.
     """
-    rows: List[Row] = []
-    for config in configs:
-        reps: List[Row] = []
-        for r in range(repeat):
-            cfg = dict(config)
-            if repeat > 1 and "seed" in cfg:
-                cfg["seed"] = int(cfg["seed"]) + r  # type: ignore[arg-type]
-            started = time.perf_counter()
-            try:
-                row = runner(**cfg)
-            except Exception as exc:  # noqa: BLE001 - captured per-row
-                if fail_fast:
-                    raise
-                row = {"error": f"{type(exc).__name__}: {exc}"}
-            row.setdefault("elapsed_s", round(time.perf_counter() - started, 3))
-            for key, value in config.items():
-                row.setdefault(key, value)
-            reps.append(row)
-        if repeat == 1:
-            rows.append(reps[0])
-        else:
-            rows.append((aggregate or _max_aggregate)(reps))
-    return rows
+    config_list = [dict(c) for c in configs]
+    if workers is None or workers <= 1 or len(config_list) <= 1:
+        return [
+            _run_config(config, runner, fail_fast, repeat, aggregate)
+            for config in config_list
+        ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_config, config, runner, fail_fast, repeat, aggregate)
+            for config in config_list
+        ]
+        # Collect in submission order: rows are deterministic regardless of
+        # which worker finishes first.  result() re-raises worker exceptions
+        # (only possible with fail_fast; captured errors come back as rows).
+        return [f.result() for f in futures]
 
 
-def _max_aggregate(reps: List[Row]) -> Row:
-    """Default aggregation: per-key max of numeric fields, first value
-    otherwise; adds ``repeats``."""
+def _run_config(
+    config: Dict[str, object],
+    runner: Callable[..., Row],
+    fail_fast: bool,
+    repeat: int,
+    aggregate: Optional[Callable[[List[Row]], Row]],
+) -> Row:
+    """All repeats of one configuration, reduced to one row.  Module-level
+    (not a closure) so worker processes can unpickle it."""
+    reps: List[Row] = []
+    for r in range(repeat):
+        cfg = dict(config)
+        if repeat > 1 and "seed" in cfg:
+            cfg["seed"] = int(cfg["seed"]) + r  # type: ignore[arg-type]
+        started = time.perf_counter()
+        try:
+            row = runner(**cfg)
+        except Exception as exc:  # noqa: BLE001 - captured per-row
+            if fail_fast:
+                raise
+            row = {"error": f"{type(exc).__name__}: {exc}"}
+        row.setdefault("elapsed_s", round(time.perf_counter() - started, 3))
+        for key, value in config.items():
+            row.setdefault(key, value)
+        reps.append(row)
+    if repeat == 1:
+        return reps[0]
+    if aggregate is not None:
+        return aggregate(reps)
+    return _max_aggregate(reps, frozenset(config))
+
+
+def _max_aggregate(reps: List[Row], config_keys: FrozenSet[str] = frozenset()) -> Row:
+    """Default aggregation: per-key max of numeric *result* fields, first
+    value otherwise; adds ``repeats``.
+
+    Configuration-echo keys are never aggregated (maxing a swept parameter
+    like ``seed`` or ``n`` would corrupt the row's identity), and
+    ``elapsed_s`` is the *sum* over the repetitions — the cost of producing
+    the row — not the max.
+    """
     out: Row = dict(reps[0])
     for rep in reps[1:]:
         for key, value in rep.items():
+            if key in config_keys or key == "elapsed_s":
+                continue
             if isinstance(value, (int, float)) and isinstance(out.get(key), (int, float)):
                 out[key] = max(out[key], value)  # type: ignore[type-var]
+    elapsed = [
+        rep["elapsed_s"] for rep in reps
+        if isinstance(rep.get("elapsed_s"), (int, float))
+    ]
+    if elapsed:
+        out["elapsed_s"] = round(sum(elapsed), 3)
     out["repeats"] = len(reps)
     return out

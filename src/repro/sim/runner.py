@@ -196,6 +196,8 @@ def build_simulation(
     ledger_strict: bool = True,
     trace: Optional[TraceRecorder] = None,
     ssmfp_options: Optional[Dict] = None,
+    full_scan: bool = False,
+    debug_check: bool = False,
 ) -> Simulation:
     """Assemble the full SSMFP system.
 
@@ -217,6 +219,13 @@ def build_simulation(
         for tests, not large benches).
     ssmfp_options:
         Extra keyword arguments for :class:`SSMFP` (ablation knobs).
+    full_scan:
+        Disable the incremental enabled-set engine: every guard of every
+        processor is re-evaluated each step (the classic engine; the oracle
+        the equivalence suite compares against).
+    debug_check:
+        Cross-check the incremental cache against a full scan every step
+        (slow; for tests).
     """
     routing = _make_routing(net, routing_mode, routing_corruption, seed)
     ledger = DeliveryLedger(strict=ledger_strict)
@@ -239,7 +248,10 @@ def build_simulation(
     if daemon is None:
         daemon = DistributedRandomDaemon(seed=seed)
     hooks = [InvariantChecker(proto).as_hook()] if strict_invariants else None
-    sim = Simulator(net.n, stack, daemon, trace=trace, strict_hooks=hooks)
+    sim = Simulator(
+        net.n, stack, daemon, trace=trace, strict_hooks=hooks,
+        full_scan=full_scan, debug_check=debug_check,
+    )
     return Simulation(
         net=net, routing=routing, forwarding=proto, hl=hl,
         ledger=ledger, sim=sim, workload=workload,

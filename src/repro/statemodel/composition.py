@@ -9,7 +9,7 @@ highest-priority protocol with any enabled action are offered to the daemon.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.statemodel.action import Action
 from repro.statemodel.protocol import Protocol
@@ -47,3 +47,22 @@ class PriorityStack:
             if actions:
                 return actions
         return []
+
+    def dirty_after(self, selection: Dict[ProcId, Action]) -> Optional[Set[ProcId]]:
+        """Union of the layers' dirty sets; ``None`` (full re-scan) as soon
+        as any layer declines to track its writes.
+
+        A processor dirty for *any* layer is dirty for the whole stack:
+        priority masking means a layer's enabledness change can expose or
+        hide a lower layer's actions at that processor.  Every layer is
+        drained even when one returns ``None``, so per-protocol
+        accumulators never go stale across a full re-scan.
+        """
+        dirty: Optional[Set[ProcId]] = set()
+        for proto in self._protocols:
+            d = proto.dirty_after(selection)
+            if d is None:
+                dirty = None
+            elif dirty is not None:
+                dirty |= d
+        return dirty

@@ -11,7 +11,7 @@ configuration, so simultaneous execution keeps snapshot semantics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Set
 
 from repro.statemodel.action import Action
 from repro.types import ProcId
@@ -41,6 +41,28 @@ class Protocol(ABC):
         before guard evaluation.  Used for environment moves that the paper
         models outside the daemon (higher-layer requests, fairness-queue
         bookkeeping).  Default: nothing."""
+
+    def dirty_after(self, selection: Dict[ProcId, "Action"]) -> Optional[Set[ProcId]]:
+        """Incremental-engine hook: the set of processors whose guards may
+        have changed since the previous guard evaluation.
+
+        The simulator calls this once per step, immediately before guard
+        evaluation (after :meth:`before_step`), passing the selection it
+        executed in the previous step (empty on the first step and after
+        terminal steps).  The returned set must cover *every* source of
+        guard change since the last call: the executed actions' writes,
+        environment moves made by :meth:`before_step`, and any external
+        mutation of protocol state.
+
+        In the locally shared memory model a guard at ``p`` reads only the
+        closed neighborhood of ``p``, so protocols that track their writes
+        can return small sets and the simulator will re-evaluate only those
+        processors, reusing its cached enabled actions everywhere else.
+
+        Returning ``None`` means "anything may have changed" and forces a
+        full re-scan — the safe default for protocols that do not opt in.
+        """
+        return None
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-ish dump of protocol state for traces and figure replays.

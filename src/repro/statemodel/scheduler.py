@@ -12,14 +12,28 @@ of protocols under a daemon.  Each :meth:`Simulator.step`:
 Round accounting follows the paper's definition: a round completes when
 every processor enabled at the round's start has executed an action or been
 *neutralized* (was enabled, became disabled without executing).
+
+Incremental guard evaluation
+----------------------------
+In the locally shared memory model a guard at ``p`` reads only the closed
+neighborhood of ``p``, so a step that executed actions at a few processors
+can only change enabledness near those writers.  The simulator exploits
+that: it keeps a per-processor cache of enabled actions and, before each
+evaluation, asks the protocol stack which processors went *dirty*
+(:meth:`~repro.statemodel.protocol.Protocol.dirty_after`).  Only dirty
+processors are re-evaluated; protocols that do not opt in return ``None``
+and get the classic full scan.  ``full_scan=True`` disables the cache
+entirely, and ``debug_check=True`` cross-checks the cache against a full
+scan after every evaluation (used by the equivalence test suite).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
-from repro.errors import ScheduleError, SimulationLimitExceeded
+from repro.errors import InvariantViolation, ScheduleError, SimulationLimitExceeded
 from repro.statemodel.action import Action
 from repro.statemodel.composition import PriorityStack
 from repro.statemodel.daemon import Daemon, EnabledMap
@@ -69,6 +83,13 @@ class Simulator:
         Optional per-step invariant checkers, called after every step with
         the simulator; used by the core tests to machine-check safety after
         each atomic step.
+    full_scan:
+        Escape hatch: evaluate every processor's guards every step (the
+        pre-incremental behavior), ignoring the protocols' dirty sets.
+    debug_check:
+        Cross-check the incremental cache against a full scan after every
+        guard evaluation; raises :class:`~repro.errors.InvariantViolation`
+        on any divergence.  O(n·|rules|)/step — for tests, not benches.
     """
 
     def __init__(
@@ -78,6 +99,9 @@ class Simulator:
         daemon: Daemon,
         trace: Optional[TraceRecorder] = None,
         strict_hooks: Optional[Sequence[Callable[["Simulator"], None]]] = None,
+        *,
+        full_scan: bool = False,
+        debug_check: bool = False,
     ) -> None:
         if isinstance(protocols, PriorityStack):
             self._stack = protocols
@@ -92,8 +116,17 @@ class Simulator:
         self._step = 0
         self._rounds_completed = 0
         self._round_pending: Optional[Set[ProcId]] = None
-        self._rule_counts: Dict[str, int] = {}
+        self._rule_counts: Counter = Counter()
         self._terminal = False
+        self._full_scan = full_scan
+        self._debug_check = debug_check
+        #: Per-processor enabled-actions cache (incremental engine only).
+        self._cache: Optional[List[List[Action]]] = None
+        self._last_selection: Dict[ProcId, Action] = {}
+        #: Number of per-processor guard evaluations performed so far (one
+        #: count per ``enabled_actions`` call on the stack) — the metric the
+        #: engine benchmarks compare across engines.
+        self.guard_evals = 0
 
     # -- accessors -----------------------------------------------------------
 
@@ -128,13 +161,73 @@ class Simulator:
         return self._terminal
 
     def enabled_map(self) -> EnabledMap:
-        """Evaluate all guards against the current configuration."""
+        """Evaluate guards against the current configuration.
+
+        With the incremental engine (the default), only processors the
+        protocol stack reports dirty since the last evaluation are
+        re-evaluated; the rest come from the cache.  The returned map is
+        identical to a full scan (cross-checked when ``debug_check`` is
+        set).
+        """
+        if self._full_scan:
+            return self._full_scan_map()
+        dirty = self._stack.dirty_after(self._last_selection)
+        self._last_selection = {}
+        cache = self._cache
+        if cache is None or dirty is None:
+            self.guard_evals += self._n
+            stack = self._stack
+            self._cache = cache = [stack.enabled_actions(pid) for pid in range(self._n)]
+        elif dirty:
+            stack = self._stack
+            n = self._n
+            for pid in dirty:
+                if 0 <= pid < n:
+                    self.guard_evals += 1
+                    cache[pid] = stack.enabled_actions(pid)
+        enabled: EnabledMap = {
+            pid: actions for pid, actions in enumerate(cache) if actions
+        }
+        if self._debug_check:
+            self._cross_check(enabled)
+        return enabled
+
+    def _full_scan_map(self) -> EnabledMap:
         enabled: EnabledMap = {}
+        stack = self._stack
+        self.guard_evals += self._n
         for pid in range(self._n):
-            actions = self._stack.enabled_actions(pid)
+            actions = stack.enabled_actions(pid)
             if actions:
                 enabled[pid] = actions
         return enabled
+
+    def _cross_check(self, enabled: EnabledMap) -> None:
+        """Debug mode: recompute everything and compare with the cache."""
+        fresh: EnabledMap = {}
+        stack = self._stack
+        for pid in range(self._n):
+            actions = stack.enabled_actions(pid)
+            if actions:
+                fresh[pid] = actions
+
+        def signature(m: EnabledMap):
+            return {
+                pid: [(a.rule, a.protocol, a.info) for a in actions]
+                for pid, actions in m.items()
+            }
+
+        got, want = signature(enabled), signature(fresh)
+        if got != want:
+            diff = {
+                pid: (got.get(pid), want.get(pid))
+                for pid in set(got) | set(want)
+                if got.get(pid) != want.get(pid)
+            }
+            raise InvariantViolation(
+                f"incremental enabled-set cache diverged from full scan at "
+                f"step {self._step}: {{pid: (cached, fresh)}} = {diff}"
+            )
 
     # -- stepping ------------------------------------------------------------
 
@@ -146,6 +239,7 @@ class Simulator:
         """
         self._stack.before_step(self._step)
         enabled = self.enabled_map()
+        rec = self.trace
 
         # Round bookkeeping part 1: neutralization.  Any processor still
         # owed to the current round that is no longer enabled was
@@ -153,7 +247,7 @@ class Simulator:
         if self._round_pending is None:
             self._round_pending = set(enabled)
         else:
-            self._round_pending &= set(enabled)
+            self._round_pending &= enabled.keys()
         round_completed = False
         if not self._round_pending and enabled:
             # Every debtor executed or was neutralized: a round completed,
@@ -161,7 +255,8 @@ class Simulator:
             self._rounds_completed += 1
             self._round_pending = set(enabled)
             round_completed = True
-            self.trace.record(Event(step=self._step, kind="round"))
+            if rec.wants("round"):
+                rec.record(Event(step=self._step, kind="round"))
 
         # A configuration is terminal only while nothing is enabled; the
         # environment (higher layer) may revive it at a later step.
@@ -178,22 +273,26 @@ class Simulator:
         selection = self._daemon.select(enabled, self._step)
         self._validate_selection(selection, enabled)
 
+        counts = self._rule_counts
+        record_actions = rec.wants("action")
         for pid, action in selection.items():
             action.execute()
-            self._rule_counts[action.rule] = self._rule_counts.get(action.rule, 0) + 1
-            self.trace.record(
-                Event(
-                    step=self._step,
-                    kind="action",
-                    pid=pid,
-                    rule=action.rule,
-                    protocol=action.protocol,
-                    info=action.info,
+            counts[action.rule] += 1
+            if record_actions:
+                rec.record(
+                    Event(
+                        step=self._step,
+                        kind="action",
+                        pid=pid,
+                        rule=action.rule,
+                        protocol=action.protocol,
+                        info=action.info,
+                    )
                 )
-            )
+        self._last_selection = selection
 
         # Round bookkeeping part 2: executions pay the round debt.
-        self._round_pending -= set(selection)
+        self._round_pending -= selection.keys()
 
         self._step += 1
         for hook in self._strict_hooks:

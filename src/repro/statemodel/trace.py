@@ -9,7 +9,7 @@ non-terminating runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.types import ProcId
 
@@ -41,17 +41,30 @@ class TraceRecorder:
     capacity:
         Optional bound on stored events; once full, the oldest events are
         dropped (the recorder keeps a running total either way).
+    kinds:
+        Optional allow-list of event kinds (e.g. ``("round",)``).  Unlike
+        ``predicate``, this filter is *statically known*, so the simulator
+        queries it via :meth:`wants` and skips :class:`Event` construction
+        entirely for kinds that would be dropped — the cheap way to keep
+        only round markers on long runs.
     """
 
     def __init__(
         self,
         predicate: Optional[Callable[[Event], bool]] = None,
         capacity: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
     ) -> None:
         self._predicate = predicate
         self._capacity = capacity
+        self._kinds = frozenset(kinds) if kinds is not None else None
         self._events: List[Event] = []
         self._total = 0
+
+    def wants(self, kind: str) -> bool:
+        """True iff events of ``kind`` can possibly be retained.  Producers
+        may skip building the :class:`Event` when this returns False."""
+        return self._kinds is None or kind in self._kinds
 
     @property
     def events(self) -> List[Event]:
@@ -65,6 +78,8 @@ class TraceRecorder:
 
     def record(self, event: Event) -> None:
         """Offer one event to the recorder."""
+        if self._kinds is not None and event.kind not in self._kinds:
+            return
         if event.kind == "action" and self._predicate is not None:
             if not self._predicate(event):
                 return

@@ -2,8 +2,36 @@
 
 import pytest
 
+from repro.network.topologies import ring_network
 from repro.sim.campaign import run_sweep
 from repro.sim.reporting import format_table
+
+
+def _sweep_runner(seed, n):
+    """Module-level (picklable) runner: a tiny real simulation."""
+    from repro.app.workload import uniform_workload
+    from repro.sim.runner import build_simulation, delivered_and_drained
+    from repro.statemodel.daemon import DistributedRandomDaemon
+
+    net = ring_network(n)
+    sim = build_simulation(
+        net,
+        workload=uniform_workload(n, count=4, seed=seed),
+        daemon=DistributedRandomDaemon(seed=seed),
+        seed=seed,
+    )
+    result = sim.run(50_000, halt=delivered_and_drained)
+    return {
+        "steps": result.steps,
+        "rounds": result.rounds,
+        "delivered": len(sim.hl.delivered),
+    }
+
+
+def _flaky_runner(seed):
+    if seed % 2 == 0:
+        raise ValueError(f"boom {seed}")
+    return {"ok": seed}
 
 
 class TestRunSweep:
@@ -54,6 +82,67 @@ class TestRunSweep:
             aggregate=lambda reps: {"v": sum(r["v"] for r in reps)},
         )
         assert rows[0]["v"] == 1
+
+    def test_aggregate_skips_config_echo_keys(self):
+        # A swept parameter echoed into the rows must keep its configured
+        # value, not the max over seed offsets.
+        rows = run_sweep(
+            [{"seed": 10, "n": 4}],
+            runner=lambda seed, n: {"value": seed * 100},
+            repeat=3,
+        )
+        assert rows[0]["seed"] == 10
+        assert rows[0]["n"] == 4
+        assert rows[0]["value"] == 1200
+
+    def test_aggregate_sums_elapsed(self):
+        rows = run_sweep(
+            [{"seed": 0}],
+            runner=lambda seed: {"elapsed_s": 1.5, "v": seed},
+            repeat=3,
+        )
+        assert rows[0]["elapsed_s"] == pytest.approx(4.5)
+        assert rows[0]["repeats"] == 3
+
+
+class TestParallelSweep:
+    CONFIGS = [{"seed": s, "n": 6} for s in range(6)]
+
+    def test_workers_match_serial(self):
+        serial = run_sweep(self.CONFIGS, runner=_sweep_runner, repeat=2)
+        parallel = run_sweep(self.CONFIGS, runner=_sweep_runner, repeat=2, workers=4)
+
+        def strip(rows):
+            return [{k: v for k, v in r.items() if k != "elapsed_s"} for r in rows]
+
+        assert strip(parallel) == strip(serial)
+
+    def test_workers_capture_errors(self):
+        rows = run_sweep(
+            [{"seed": s} for s in range(4)],
+            runner=_flaky_runner,
+            fail_fast=False,
+            workers=2,
+        )
+        assert "ValueError" in rows[0]["error"]
+        assert rows[1]["ok"] == 1
+        assert "ValueError" in rows[2]["error"]
+        assert rows[3]["ok"] == 3
+
+    def test_workers_fail_fast_raises(self):
+        with pytest.raises(ValueError):
+            run_sweep(
+                [{"seed": 0}, {"seed": 1}],
+                runner=_flaky_runner,
+                workers=2,
+            )
+
+    def test_workers_one_falls_back_to_serial(self):
+        # A lambda runner is not picklable; workers=1 must not try to.
+        rows = run_sweep(
+            [{"x": 1}, {"x": 2}], runner=lambda x: {"y": x}, workers=1
+        )
+        assert [r["y"] for r in rows] == [1, 2]
 
 
 class TestFormatTable:
