@@ -10,14 +10,35 @@ tables inline).
 from __future__ import annotations
 
 import pathlib
+from typing import Dict, List, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def archive(exp_id: str, report: str) -> None:
-    """Print the regenerated table and store it under benchmarks/results."""
+def archive(
+    exp_id: str,
+    report: str,
+    rows: Optional[List[Dict[str, object]]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Print the regenerated table and store it under benchmarks/results.
+
+    When ``rows`` is given, a machine-readable twin of the report is also
+    written as ``results/<exp_id>.jsonl`` (schema-versioned, see
+    :mod:`repro.obs.export`) for ``python -m repro obs summarize|diff``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(report + "\n")
+    if rows is not None:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(
+            RESULTS_DIR / f"{exp_id}.jsonl",
+            rows,
+            kind="table_row",
+            name=exp_id,
+            meta=meta,
+        )
     print()
     print(report)
 

@@ -160,6 +160,8 @@ def test_bench_engine_incremental_vs_full_scan(benchmark):
             title="ENGINE — incremental enabled-set engine vs full scan "
                   "(same seeds, identical executions)",
         ),
+        rows=rows,
+        meta={"table": "ENGINE", "scenarios": len(rows)},
     )
     by_label = {r["scenario"]: r for r in rows}
     # Acceptance: >=3x fewer guard evaluations and a real wall-clock win on

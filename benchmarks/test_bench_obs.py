@@ -1,0 +1,165 @@
+"""Observability overhead benchmark: what does watching cost?
+
+The scenario is ENGINE.txt's ``ring64-trickle`` (identical topology,
+workload, daemon and seeds), run two ways:
+
+* **disabled** — no registry, no tracer: this is exactly the run the
+  engine table times as ``incr_s``, so its step/guard counts must match
+  ENGINE.txt bit-for-bit (instrumentation off must cost nothing and,
+  above all, change nothing);
+* **enabled** — a :class:`MetricsRegistry` fed by the simulator plus a
+  :class:`MessageTracer` on the ledger/buffer/submit hooks.
+
+Both variants must execute the *identical* schedule (same steps, same
+guard evaluations) — observability is purely observational.  The measured
+walls and the enabled run's full artifact (metrics + per-message
+lifecycles) are archived as ``results/OBS.txt`` / ``results/OBS.jsonl``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import RESULTS_DIR, archive, bench_once
+from repro.app.workload import uniform_workload
+from repro.network.topologies import ring_network
+from repro.obs import MessageTracer, MetricsRegistry, read_artifact, write_jsonl
+from repro.sim.reporting import format_table
+from repro.sim.runner import build_simulation, delivered_and_drained
+from repro.statemodel.daemon import DistributedRandomDaemon
+
+#: How many timed repetitions per variant (medians are reported).
+_REPS = 3
+
+#: Loose ceiling on enabled/disabled wall ratio: full per-rule timing plus
+#: per-message tracing should stay within a small constant factor; the
+#: precise measured ratio is archived in OBS.txt.
+_MAX_OVERHEAD = 3.0
+
+
+def _build(obs=None, tracer=None):
+    # ENGINE.txt ring64-trickle, verbatim (see test_bench_engine.py).
+    net = ring_network(64)
+    return build_simulation(
+        net,
+        workload=uniform_workload(net.n, count=64, seed=7, spread_steps=1200),
+        daemon=DistributedRandomDaemon(seed=3),
+        seed=11,
+        obs=obs,
+        tracer=tracer,
+    )
+
+
+def _timed_run(obs=None, tracer=None):
+    sim = _build(obs=obs, tracer=tracer)
+    t0 = time.perf_counter()
+    result = sim.run(1_000_000, halt=delivered_and_drained)
+    return time.perf_counter() - t0, result, sim
+
+
+def _engine_baseline():
+    """The archived ring64-trickle counters from ENGINE.txt, if present."""
+    path = RESULTS_DIR / "ENGINE.txt"
+    if not path.exists():
+        return None
+    for line in path.read_text().splitlines():
+        if line.strip().startswith("ring64-trickle"):
+            cells = [c.strip() for c in line.split("|")]
+            return {"steps": int(cells[1]), "guard_evals": int(cells[2])}
+    return None
+
+
+def test_bench_obs_overhead_ring64_trickle(benchmark):
+    def measure():
+        disabled, enabled, counts = [], [], []
+        for _ in range(_REPS):
+            wall, result, sim = _timed_run()
+            disabled.append(wall)
+            counts.append((result.steps, sim.sim.guard_evals))
+        registry = tracer = None
+        for _ in range(_REPS):
+            registry, tracer = MetricsRegistry(), MessageTracer()
+            wall, result, sim = _timed_run(obs=registry, tracer=tracer)
+            enabled.append(wall)
+            counts.append((result.steps, sim.sim.guard_evals))
+        return disabled, enabled, counts, registry, tracer
+
+    disabled, enabled, counts, registry, tracer = bench_once(benchmark, measure)
+
+    # Instrumentation must be purely observational: every repetition, with
+    # or without the registry/tracer, executes the identical schedule.
+    assert len(set(counts)) == 1, counts
+    steps, guard_evals = counts[0]
+
+    # ...and that schedule is the one the engine table archived: the
+    # disabled run IS ENGINE.txt's incr measurement (deterministic
+    # counters, so this holds across machines).
+    baseline = _engine_baseline()
+    if baseline is not None:
+        assert steps == baseline["steps"]
+        assert guard_evals == baseline["guard_evals"]
+
+    disabled_s = statistics.median(disabled)
+    enabled_s = statistics.median(enabled)
+    overhead = enabled_s / disabled_s if disabled_s else float("inf")
+    assert overhead < _MAX_OVERHEAD
+
+    # At least one complete per-message hop timeline: generated, bufR and
+    # bufE hops, delivered.
+    complete = tracer.complete_uids()
+    assert complete
+    full_hop = next(
+        uid for uid in complete
+        if {"R", "E"} <= {kind for _, kind in tracer.hop_path(uid)}
+    )
+    assert tracer.timeline(full_hop)[-1].kind == "delivered"
+
+    row = {
+        "scenario": "ring64-trickle",
+        "steps": steps,
+        "guard_evals": guard_evals,
+        "disabled_s": round(disabled_s, 3),
+        "enabled_s": round(enabled_s, 3),
+        "overhead": round(overhead, 2),
+        "traced_uids": len(tracer.uids()),
+        "complete_timelines": len(complete),
+    }
+
+    # The enabled run's artifact: every instrument, every lifecycle, plus
+    # the summary row of the printed table.
+    artifact_path = RESULTS_DIR / "OBS.jsonl"
+    write_jsonl(
+        artifact_path,
+        registry.rows() + tracer.to_rows() + [{"kind": "table_row", **row}],
+        name="OBS",
+        meta={"scenario": "ring64-trickle", "reps": _REPS},
+    )
+    art = read_artifact(artifact_path)
+    kinds = art.kinds()
+    assert kinds["metric"] > 0 and kinds["trace_event"] > 0
+
+    # Per-rule counts and wall-time for the full R1->R4/R6 pipeline.
+    metric_rows = art.rows_of_kind("metric")
+    execs = {
+        r["labels"]["rule"]
+        for r in metric_rows
+        if r["metric"] == "rule_executions" and r["value"] > 0
+    }
+    walls = {
+        r["labels"]["rule"]
+        for r in metric_rows
+        if r["metric"] == "rule_wall_s"
+    }
+    assert {"R1", "R2", "R3", "R4", "R6"} <= execs
+    assert execs <= walls
+
+    archive(
+        "OBS",
+        format_table(
+            [row],
+            columns=list(row),
+            title="OBS — observability off vs on (identical executions; "
+                  "disabled run = ENGINE.txt incr path)",
+        ),
+    )

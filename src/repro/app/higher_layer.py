@@ -57,6 +57,9 @@ class HigherLayer:
         self._on_request_change: Optional[
             Callable[[ProcId, Optional[DestId]], None]
         ] = None
+        self._on_submit: Optional[
+            Callable[[ProcId, Any, DestId, int], None]
+        ] = None
 
     def bind_notifier(
         self, notify: Optional[Callable[[ProcId, Optional[DestId]], None]]
@@ -67,6 +70,16 @@ class HigherLayer:
         ``dest`` the destination the change concerns.  The incremental
         engine uses it to dirty exactly the affected ``(p, d)`` component."""
         self._on_request_change = notify
+
+    def bind_submit_notifier(
+        self, notify: Optional[Callable[[ProcId, Any, DestId, int], None]]
+    ) -> None:
+        """Install a hook called as ``notify(p, payload, dest, step)`` for
+        every submission that enters an outbox (self-addressed messages,
+        delivered locally at submission time, are not reported — they
+        never acquire a uid).  The message-lifecycle tracer subscribes
+        here to stamp the ``submit`` end of each causal timeline."""
+        self._on_submit = notify
 
     # -- submission ------------------------------------------------------------
 
@@ -84,6 +97,8 @@ class HigherLayer:
             self._local_deliveries += 1
             return
         self._outbox[p].append((payload, dest))
+        if self._on_submit is not None:
+            self._on_submit(p, payload, dest, step)
 
     def pending_count(self, p: ProcId) -> int:
         """Messages still waiting in ``p``'s outbox (including the one a

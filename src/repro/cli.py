@@ -3,10 +3,14 @@
 Entry points (also available via ``python -m repro``):
 
 * ``repro list`` — the experiment registry;
-* ``repro experiment <id>`` — regenerate one figure/proposition table;
+* ``repro experiment <id>`` — regenerate one figure/proposition table
+  (``--jsonl`` also writes its tables as a machine-readable artifact);
 * ``repro simulate`` — run an SSMFP simulation from declarative flags
   (topology, corruption, workload, daemon, seed) and print the outcome,
-  optionally watching one destination component live (``--watch``).
+  optionally watching one destination component live (``--watch``),
+  exporting metrics/lifecycles (``--jsonl``) or printing one message's
+  hop-by-hop causal timeline (``--timeline``);
+* ``repro obs summarize|diff`` — inspect and compare JSONL artifacts.
 """
 
 from __future__ import annotations
@@ -58,8 +62,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate one experiment")
     exp.add_argument("id", help="experiment id (e.g. F3, P5, T1, X1)")
+    exp.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the experiment's tables as a JSONL artifact",
+    )
 
-    sub.add_parser("all", help="regenerate every experiment back to back")
+    alla = sub.add_parser("all", help="regenerate every experiment back to back")
+    alla.add_argument(
+        "--jsonl-dir", default=None, metavar="DIR",
+        help="write one JSONL artifact per experiment into DIR",
+    )
 
     rec = sub.add_parser(
         "record", help="run a spec file, write a reproducibility record"
@@ -82,6 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "'label' per spec",
     )
     swp.add_argument("--max-steps", type=int, default=500_000)
+    swp.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the result table as a JSONL artifact",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="inspect schema-versioned JSONL artifacts"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_sum = obs_sub.add_parser("summarize", help="summarize one artifact")
+    obs_sum.add_argument("artifact", help="path to a .jsonl artifact")
+    obs_diff = obs_sub.add_parser("diff", help="compare two artifacts")
+    obs_diff.add_argument("a", help="baseline artifact")
+    obs_diff.add_argument("b", help="candidate artifact")
+    obs_diff.add_argument(
+        "--tolerance", type=float, default=1e-9,
+        help="numeric differences at or below this are ignored",
+    )
 
     simp = sub.add_parser("simulate", help="run one simulation")
     simp.add_argument("--topology", default="ring", choices=sorted(_TOPOLOGY_ARGS))
@@ -110,6 +140,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--watch", type=int, default=None, metavar="DEST",
         help="print DEST's component every 25 steps",
     )
+    simp.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write metrics and message lifecycles as a JSONL artifact",
+    )
+    simp.add_argument(
+        "--timeline", type=int, default=None, metavar="UID",
+        help="print the hop-by-hop causal timeline of one message "
+             "(0 = every delivered message)",
+    )
     return parser
 
 
@@ -125,9 +164,15 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_experiment(exp_id: str) -> int:
+def _cmd_experiment(args) -> int:
     try:
-        print(run_experiment(exp_id))
+        if args.jsonl:
+            from repro.experiments.registry import run_experiment_with_artifact
+
+            print(run_experiment_with_artifact(args.id, args.jsonl))
+            print(f"artifact: {args.jsonl}", file=sys.stderr)
+        else:
+            print(run_experiment(args.id))
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -143,6 +188,12 @@ def _cmd_simulate(args) -> int:
             net.n, dest=0, per_source=max(1, args.messages // max(net.n - 1, 1)),
             seed=args.seed,
         )
+    registry = tracer = None
+    if args.jsonl or args.timeline is not None:
+        from repro.obs import MessageTracer, MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = MessageTracer()
     sim = build_simulation(
         net,
         workload=workload,
@@ -155,6 +206,8 @@ def _cmd_simulate(args) -> int:
         ),
         daemon=_DAEMONS[args.daemon](args.seed),
         seed=args.seed,
+        obs=registry,
+        tracer=tracer,
     )
     print(render_network(net))
     print()
@@ -175,6 +228,23 @@ def _cmd_simulate(args) -> int:
         f"delivered={ledger.valid_delivered_count} "
         f"invalid_delivered={ledger.invalid_delivery_count}"
     )
+    if tracer is not None and args.timeline is not None:
+        uids = tracer.uids() if args.timeline == 0 else [args.timeline]
+        for uid in uids:
+            print(tracer.format_timeline(uid))
+    if registry is not None and args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        rows = registry.rows() + tracer.to_rows()
+        count = write_jsonl(
+            args.jsonl, rows, name="simulate",
+            meta={
+                "topology": args.topology,
+                "seed": args.seed,
+                "messages": args.messages,
+            },
+        )
+        print(f"artifact: {args.jsonl} ({count} rows)", file=sys.stderr)
     if not ledger.all_valid_delivered():
         print("WARNING: undelivered messages remain", file=sys.stderr)
         return 1
@@ -182,10 +252,42 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_all() -> int:
+def _cmd_all(args) -> int:
     from repro.experiments.registry import main as run_all
 
+    if args.jsonl_dir:
+        import pathlib
+
+        from repro.experiments.registry import run_experiment_with_artifact
+
+        out_dir = pathlib.Path(args.jsonl_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        parts = []
+        for exp_id, (description, _) in EXPERIMENTS.items():
+            parts.append(f"=== {exp_id}: {description} ===")
+            safe = exp_id.replace("/", "_")
+            parts.append(
+                run_experiment_with_artifact(exp_id, str(out_dir / f"{safe}.jsonl"))
+            )
+            parts.append("")
+        print("\n".join(parts))
+        print(f"artifacts: {out_dir}", file=sys.stderr)
+        return 0
     print(run_all())
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.export import diff_artifacts, summarize_artifact
+
+    try:
+        if args.obs_command == "summarize":
+            print(summarize_artifact(args.artifact))
+        else:
+            print(diff_artifacts(args.a, args.b, tolerance=args.tolerance))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -244,6 +346,14 @@ def _cmd_sweep(args) -> int:
         )
         rows.append(row)
     print(format_table(rows, title=f"sweep over {len(rows)} specs"))
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(
+            args.jsonl, rows, kind="sweep_row", name="sweep",
+            meta={"specs": len(rows), "max_steps": args.max_steps},
+        )
+        print(f"artifact: {args.jsonl}", file=sys.stderr)
     return 0
 
 
@@ -253,15 +363,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":
-        return _cmd_experiment(args.id)
+        return _cmd_experiment(args)
     if args.command == "all":
-        return _cmd_all()
+        return _cmd_all(args)
     if args.command == "record":
         return _cmd_record(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _cmd_simulate(args)
 
 

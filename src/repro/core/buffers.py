@@ -39,8 +39,25 @@ class ForwardingBuffers:
         self._notify: Optional[WriteNotifier] = None
 
     def bind_notifier(self, notify: Optional[WriteNotifier]) -> None:
-        """Install (or remove) the write-notification hook."""
+        """Install (or remove) the write-notification hook, replacing any
+        hooks currently bound."""
         self._notify = notify
+
+    def add_notifier(self, notify: WriteNotifier) -> None:
+        """Chain one more write-notification hook *behind* whatever is
+        already bound (the incremental engine's dirty-set hook keeps
+        firing first, then the new subscriber — how the message tracer
+        attaches without disturbing the engine)."""
+        previous = self._notify
+        if previous is None:
+            self._notify = notify
+            return
+
+        def chained(d: DestId, p: ProcId, kind: str) -> None:
+            previous(d, p, kind)
+            notify(d, p, kind)
+
+        self._notify = chained
 
     # -- mutation (all buffer writes go through these, keeping counts right) --
 

@@ -15,11 +15,16 @@ The ledger observes two event streams — generations (rule R1) and deliveries
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SpecificationViolation
 from repro.statemodel.message import Message
 from repro.types import DestId, ProcId
+
+#: Lifecycle observer: called as ``observer(kind, uid, info)`` with kind in
+#: {"generated", "delivered", "lost"}.  The message-lifecycle tracer of
+#: :mod:`repro.obs` subscribes here.
+LedgerObserver = Callable[[str, int, Dict[str, Any]], None]
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,18 @@ class DeliveryLedger:
         self._lost: Set[int] = set()
         #: Violations observed in non-strict mode, human-readable.
         self.violations: List[str] = []
+        self._observers: List[LedgerObserver] = []
+
+    def add_observer(self, observer: LedgerObserver) -> None:
+        """Subscribe to the lifecycle event stream (generated / delivered /
+        lost).  Observers are called after the ledger's own bookkeeping;
+        with none installed the intake paths pay a single truthiness
+        check."""
+        self._observers.append(observer)
+
+    def _emit(self, kind: str, uid: int, info: Dict[str, Any]) -> None:
+        for observer in self._observers:
+            observer(kind, uid, info)
 
     # -- event intake ----------------------------------------------------------
 
@@ -61,6 +78,11 @@ class DeliveryLedger:
         if not msg.valid or msg.source is None:
             raise ValueError(f"record_generated expects a valid message, got {msg!r}")
         self._generated[msg.uid] = (msg.source, msg.dest, msg.born_step)
+        if self._observers:
+            self._emit(
+                "generated", msg.uid,
+                {"source": msg.source, "dest": msg.dest, "step": msg.born_step},
+            )
 
     def record_delivery(self, at: ProcId, msg: Message, step: int) -> None:
         """Register a delivery; checks the specification for valid uids."""
@@ -69,6 +91,10 @@ class DeliveryLedger:
         )
         if not msg.valid:
             self._invalid_deliveries.append(rec)
+            if self._observers:
+                self._emit(
+                    "delivered", msg.uid, {"at": at, "step": step, "valid": False}
+                )
             return
         problems: List[str] = []
         known = self._generated.get(msg.uid)
@@ -86,12 +112,16 @@ class DeliveryLedger:
             self._flag("; ".join(problems))
         if msg.uid not in self._valid_delivered:
             self._valid_delivered[msg.uid] = rec
+        if self._observers:
+            self._emit("delivered", msg.uid, {"at": at, "step": step, "valid": True})
 
     def record_loss(self, msg: Message, reason: str) -> None:
         """Register that a protocol erased the last copy of a valid message
         without delivering it (baselines do this; SSMFP must never)."""
         if msg.valid:
             self._lost.add(msg.uid)
+            if self._observers:
+                self._emit("lost", msg.uid, {"reason": reason})
             self._flag(f"valid uid {msg.uid} lost: {reason}")
 
     def _flag(self, text: str) -> None:
@@ -132,6 +162,20 @@ class DeliveryLedger:
     def outstanding_uids(self) -> Set[int]:
         """Valid uids generated but not yet delivered."""
         return set(self._generated).difference(self._valid_delivered)
+
+    def generated_uids(self) -> List[int]:
+        """Every generated valid uid, ascending.  Uids need not be
+        contiguous (factories can be shared across simulations, and a
+        non-strict ledger may know deliveries it never saw generated)."""
+        return sorted(self._generated)
+
+    def delivered_uids(self) -> List[int]:
+        """Valid uids both generated and delivered, ascending — the
+        denominator of every latency metric.  Deliveries of uids the
+        ledger never saw generated (possible only in non-strict mode, and
+        always flagged as violations) are excluded: they have no
+        generation stamp to measure from."""
+        return sorted(uid for uid in self._valid_delivered if uid in self._generated)
 
     def all_valid_delivered(self) -> bool:
         """True iff every generated message has been delivered."""

@@ -128,7 +128,10 @@ class SSMFP(Protocol):
             (p, *net.neighbors(p)) for p in net.processors()
         ]
         if self._incremental:
-            self.bufs.bind_notifier(self._on_buffer_write)
+            # add_notifier (not bind) so later subscribers — the
+            # message-lifecycle tracer of ``repro.obs`` — chain behind the
+            # dirty-set hook instead of silently replacing it.
+            self.bufs.add_notifier(self._on_buffer_write)
             self.hl.bind_notifier(self._on_request_change)
             routing.add_observer(self._on_routing_change)
             for d in net.processors():

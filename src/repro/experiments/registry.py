@@ -63,6 +63,29 @@ def run_experiment(exp_id: str) -> str:
     return entry()
 
 
+def run_experiment_with_artifact(exp_id: str, jsonl_path: str) -> str:
+    """Run one experiment and write its tables as a JSONL artifact.
+
+    The experiments only print ASCII tables; this captures every table the
+    run renders (via the reporting sink) and writes the rows — kind
+    ``table_row``, stamped with their table's title — to ``jsonl_path``.
+    Returns the usual report string.
+    """
+    from repro.obs.export import capture_tables, tables_to_rows, write_jsonl
+
+    description = EXPERIMENTS[exp_id][0] if exp_id in EXPERIMENTS else ""
+    with capture_tables() as captured:
+        report = run_experiment(exp_id)
+    write_jsonl(
+        jsonl_path,
+        tables_to_rows(captured),
+        kind="table_row",
+        name=exp_id,
+        meta={"experiment": exp_id, "description": description},
+    )
+    return report
+
+
 def main() -> str:
     """Run every experiment back to back (the full evaluation)."""
     parts = []

@@ -19,7 +19,7 @@ from repro.sim.metrics import (
     moves_per_delivery,
 )
 from repro.sim.campaign import run_sweep
-from repro.sim.reporting import format_table
+from repro.sim.reporting import format_table, set_table_sink
 
 __all__ = [
     "Simulation",
@@ -32,4 +32,5 @@ __all__ = [
     "moves_per_delivery",
     "run_sweep",
     "format_table",
+    "set_table_sink",
 ]

@@ -29,6 +29,7 @@ def run_sweep(
     repeat: int = 1,
     aggregate: Optional[Callable[[List[Row]], Row]] = None,
     workers: Optional[int] = None,
+    jsonl_path: Optional[str] = None,
 ) -> List[Row]:
     """Run ``runner(**config)`` for every configuration.
 
@@ -43,22 +44,38 @@ def run_sweep(
     processes; row order and values are identical to the serial sweep
     (``elapsed_s`` aside).  With ``fail_fast`` the first failing
     configuration's exception is re-raised in the parent.
+
+    ``jsonl_path``, when set, additionally writes the returned rows as a
+    schema-versioned JSONL artifact (kind ``sweep_row``) readable by
+    ``python -m repro obs``.
     """
     config_list = [dict(c) for c in configs]
     if workers is None or workers <= 1 or len(config_list) <= 1:
-        return [
+        rows = [
             _run_config(config, runner, fail_fast, repeat, aggregate)
             for config in config_list
         ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_run_config, config, runner, fail_fast, repeat, aggregate)
-            for config in config_list
-        ]
-        # Collect in submission order: rows are deterministic regardless of
-        # which worker finishes first.  result() re-raises worker exceptions
-        # (only possible with fail_fast; captured errors come back as rows).
-        return [f.result() for f in futures]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_config, config, runner, fail_fast, repeat, aggregate)
+                for config in config_list
+            ]
+            # Collect in submission order: rows are deterministic regardless
+            # of which worker finishes first.  result() re-raises worker
+            # exceptions (only possible with fail_fast; captured errors come
+            # back as rows).
+            rows = [f.result() for f in futures]
+    if jsonl_path is not None:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(
+            jsonl_path,
+            rows,
+            kind="sweep_row",
+            meta={"configs": len(config_list), "repeat": repeat},
+        )
+    return rows
 
 
 def _run_config(
@@ -95,15 +112,26 @@ def _run_config(
 
 def _max_aggregate(reps: List[Row], config_keys: FrozenSet[str] = frozenset()) -> Row:
     """Default aggregation: per-key max of numeric *result* fields, first
-    value otherwise; adds ``repeats``.
+    value otherwise; adds ``repeats`` and ``errors``.
 
     Configuration-echo keys are never aggregated (maxing a swept parameter
     like ``seed`` or ``n`` would corrupt the row's identity), and
-    ``elapsed_s`` is the *sum* over the repetitions — the cost of producing
+    ``elapsed_s`` is the *sum* over all repetitions — the cost of producing
     the row — not the max.
+
+    Repetitions that failed (captured ``error`` rows under
+    ``fail_fast=False``) are excluded from the metric aggregation: an error
+    row carries only ``error``/``elapsed_s``/config echoes, so seeding the
+    max from it (or letting its echo keys mask real values) would poison
+    the aggregate.  Their count is reported as ``errors``; if *every*
+    repetition failed, the first error row is returned (with counts) so the
+    failure stays visible in the sweep output.
     """
-    out: Row = dict(reps[0])
-    for rep in reps[1:]:
+    ok = [rep for rep in reps if "error" not in rep]
+    errors = len(reps) - len(ok)
+    base = ok if ok else reps
+    out: Row = dict(base[0])
+    for rep in base[1:]:
         for key, value in rep.items():
             if key in config_keys or key == "elapsed_s":
                 continue
@@ -116,4 +144,5 @@ def _max_aggregate(reps: List[Row], config_keys: FrozenSet[str] = frozenset()) -
     if elapsed:
         out["elapsed_s"] = round(sum(elapsed), 3)
     out["repeats"] = len(reps)
+    out["errors"] = errors
     return out

@@ -85,17 +85,26 @@ class RoutingFaultInjector:
         self.injections.append(step)
         return True
 
-    def drive(self, simulation, max_steps: int, halt=None) -> None:
+    def drive(self, simulation, max_steps: int, halt=None) -> bool:
         """Convenience loop: step the simulation, injecting on schedule.
 
         ``halt`` has :func:`~repro.sim.runner.delivered_and_drained`
-        semantics.  Raises nothing on budget exhaustion — callers inspect
-        the ledger.
+        semantics and, mirroring :meth:`Simulation.run`, is evaluated one
+        final time when the step budget runs out — a halt condition
+        satisfied by the very last step must not be reported as a miss.
+        Returns True when the halt condition was met (never raises on
+        budget exhaustion — callers inspect the ledger).
         """
+        halted = False
         for _ in range(max_steps):
             if halt is not None and halt(simulation):
-                return
+                halted = True
+                break
             self.maybe_inject(simulation.sim.step_count)
             report = simulation.step()
             if report.terminal and not simulation._fast_forward_workload():
-                return
+                break
+        else:
+            if halt is not None and halt(simulation):
+                halted = True
+        return halted

@@ -17,8 +17,19 @@ from repro.statemodel.trace import TraceRecorder
 class RoundClock:
     """Step→round conversion built from a trace's round markers.
 
-    Round ``k`` (1-based) completes at the step carrying the k-th marker;
-    a step before the first marker is in round 1.
+    Round ``k`` (1-based) completes **at** the step carrying the k-th
+    marker: the simulator stamps each marker with the step whose execution
+    paid the round's last debt, so the marker step is the *last* step of
+    round ``k`` and the following step opens round ``k+1``.  A step at or
+    before the first marker is in round 1.
+
+    (Historical note: the simulator used to stamp markers with the step at
+    which completion was *detected* — one step late — and this class used
+    ``bisect_right``, pushing the marker step into round k+1.  The two
+    off-by-ones cancelled for engine-produced traces but made both the
+    documented semantics and any hand-built trace wrong; both sides are
+    now aligned with the documented meaning, pinned by the marker-step
+    tests in ``tests/test_sim_metrics.py``.)
     """
 
     def __init__(self, trace: TraceRecorder) -> None:
@@ -27,8 +38,9 @@ class RoundClock:
         ]
 
     def round_of_step(self, step: int) -> int:
-        """The (1-based) round containing ``step``."""
-        return bisect.bisect_right(self._boundaries, step) + 1
+        """The (1-based) round containing ``step``.  The step carrying the
+        k-th marker belongs to round ``k``, not ``k+1``."""
+        return bisect.bisect_left(self._boundaries, step) + 1
 
     @property
     def completed_rounds(self) -> int:
@@ -84,10 +96,8 @@ def amortized_rounds_per_delivery(
 
 
 def _delivered_uids(ledger: DeliveryLedger) -> List[int]:
-    # Delivered = generated minus outstanding.
-    outstanding = ledger.outstanding_uids()
-    return [
-        uid
-        for uid in range(1, ledger.generated_count + 1)
-        if uid not in outstanding and ledger.generation_info(uid) is not None
-    ]
+    # Ask the ledger directly: the old "generated minus outstanding" scan
+    # over range(1, generated_count + 1) silently dropped uids whenever the
+    # ledger's uid space was non-contiguous (strict-mode violations, merged
+    # ledgers, externally assigned uids).
+    return ledger.delivered_uids()

@@ -1,20 +1,59 @@
 """ASCII table rendering for experiment results.
 
 Every benchmark prints its table through :func:`format_table`, so the
-regenerated "figures" of EXPERIMENTS.md all share one format.
+regenerated "figures" of EXPERIMENTS.md all share one format.  An optional
+module-level *table sink* (:func:`set_table_sink`) observes every rendered
+table as structured data — the observability exporter uses it to capture
+experiment tables into JSONL artifacts without touching the experiments.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Sink signature: (title, columns, rows) for every format_table call.
+TableSink = Callable[
+    [Optional[str], Sequence[str], Sequence[Dict[str, object]]], None
+]
+
+_table_sink: Optional[TableSink] = None
+
+
+def set_table_sink(sink: Optional[TableSink]) -> Optional[TableSink]:
+    """Install (or clear, with None) the module-level table sink; returns
+    the previous sink so callers can chain/restore it."""
+    global _table_sink
+    previous = _table_sink
+    _table_sink = sink
+    return previous
+
+
+def _fmt_float(v: float) -> str:
+    # Fixed notation with 3 decimals, trailing zeros trimmed.  The old
+    # "%.3g" rendering mangled anything >= 1000 into scientific notation
+    # ("1.23e+03") and silently rounded away 4th-and-later significant
+    # digits; only genuinely tiny magnitudes still fall back to %.3g.
+    if math.isnan(v) or math.isinf(v):
+        return str(v)
+    if v != 0 and abs(v) < 1e-3:
+        return f"{v:.3g}"
+    return f"{v:.3f}".rstrip("0").rstrip(".")
 
 
 def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
     if isinstance(value, float):
-        return f"{value:.3g}"
+        return _fmt_float(value)
     if value is None:
         return "-"
     return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    # bool is an int subclass; True/False cells read as labels, not numbers.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 def format_table(
@@ -25,7 +64,9 @@ def format_table(
     """Render rows as a fixed-width ASCII table.
 
     ``columns`` fixes order and selection; by default the union of keys in
-    first-appearance order is used.
+    first-appearance order is used.  A column whose present values are all
+    numeric is right-aligned (headers stay left-aligned); everything else
+    is left-aligned.
     """
     if columns is None:
         cols: List[str] = []
@@ -35,6 +76,17 @@ def format_table(
                     cols.append(key)
     else:
         cols = list(columns)
+    if _table_sink is not None:
+        _table_sink(title, list(cols), list(rows))
+    numeric = {
+        c: any(_is_numeric(row.get(c)) for row in rows)
+        and all(
+            _is_numeric(v)
+            for row in rows
+            if (v := row.get(c)) is not None
+        )
+        for c in cols
+    }
     widths = {c: len(c) for c in cols}
     rendered: List[List[str]] = []
     for row in rows:
@@ -49,5 +101,10 @@ def format_table(
     out.append(" | ".join(c.ljust(widths[c]) for c in cols))
     out.append(sep)
     for line in rendered:
-        out.append(" | ".join(cell.ljust(widths[c]) for cell, c in zip(line, cols)))
+        out.append(
+            " | ".join(
+                cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c])
+                for cell, c in zip(line, cols)
+            )
+        )
     return "\n".join(out)

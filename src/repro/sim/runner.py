@@ -47,6 +47,10 @@ class Simulation:
     ledger: DeliveryLedger
     sim: Simulator
     workload: Optional[Workload] = None
+    #: Metrics registry fed by the simulator (``repro.obs``), if enabled.
+    obs: Optional[object] = field(default=None, repr=False)
+    #: Message-lifecycle tracer attached to this simulation, if enabled.
+    tracer: Optional[object] = field(default=None, repr=False)
     _fed: int = field(default=0, repr=False)
 
     def _feed_workload(self) -> None:
@@ -198,6 +202,8 @@ def build_simulation(
     ssmfp_options: Optional[Dict] = None,
     full_scan: bool = False,
     debug_check: bool = False,
+    obs: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> Simulation:
     """Assemble the full SSMFP system.
 
@@ -226,6 +232,14 @@ def build_simulation(
     debug_check:
         Cross-check the incremental cache against a full scan every step
         (slow; for tests).
+    obs:
+        Optional :class:`repro.obs.MetricsRegistry` the simulator feeds
+        with per-rule counts/wall-time, guard evaluations and round/
+        neutralization events.  ``None`` (default) costs nothing.
+    tracer:
+        Optional :class:`repro.obs.MessageTracer`; attached to the
+        assembled simulation (ledger + buffer + submit hooks) so every
+        valid message's hop-by-hop lifecycle is recorded.
     """
     routing = _make_routing(net, routing_mode, routing_corruption, seed)
     ledger = DeliveryLedger(strict=ledger_strict)
@@ -250,12 +264,15 @@ def build_simulation(
     hooks = [InvariantChecker(proto).as_hook()] if strict_invariants else None
     sim = Simulator(
         net.n, stack, daemon, trace=trace, strict_hooks=hooks,
-        full_scan=full_scan, debug_check=debug_check,
+        full_scan=full_scan, debug_check=debug_check, obs=obs,
     )
-    return Simulation(
+    simulation = Simulation(
         net=net, routing=routing, forwarding=proto, hl=hl,
-        ledger=ledger, sim=sim, workload=workload,
+        ledger=ledger, sim=sim, workload=workload, obs=obs, tracer=tracer,
     )
+    if tracer is not None:
+        tracer.attach(simulation)
+    return simulation
 
 
 def build_baseline_simulation(
@@ -270,11 +287,15 @@ def build_baseline_simulation(
     naive_buffers: int = 2,
     atomic_moves: bool = True,
     trace: Optional[TraceRecorder] = None,
+    obs: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> Simulation:
     """Assemble a baseline system (``"ms"`` Merlin-Schweitzer or
     ``"naive"``) under the same routing/daemon machinery as SSMFP.
     ``atomic_moves`` selects the MS hosting semantics (see the baseline's
-    module docstring)."""
+    module docstring).  ``obs``/``tracer`` as in :func:`build_simulation`
+    (baselines lack SSMFP's buffer notifiers, so the tracer records the
+    ledger-level lifecycle only)."""
     routing = _make_routing(net, routing_mode, routing_corruption, seed)
     hl = HigherLayer(net.n)
     ledger = DeliveryLedger(strict=False)
@@ -291,8 +312,11 @@ def build_baseline_simulation(
     )
     if daemon is None:
         daemon = DistributedRandomDaemon(seed=seed)
-    sim = Simulator(net.n, PriorityStack(protocols), daemon, trace=trace)
-    return Simulation(
+    sim = Simulator(net.n, PriorityStack(protocols), daemon, trace=trace, obs=obs)
+    simulation = Simulation(
         net=net, routing=routing, forwarding=proto, hl=hl,
-        ledger=ledger, sim=sim, workload=workload,
+        ledger=ledger, sim=sim, workload=workload, obs=obs, tracer=tracer,
     )
+    if tracer is not None:
+        tracer.attach(simulation)
+    return simulation

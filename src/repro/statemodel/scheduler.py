@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import InvariantViolation, ScheduleError, SimulationLimitExceeded
 from repro.statemodel.action import Action
@@ -90,6 +91,14 @@ class Simulator:
         Cross-check the incremental cache against a full scan after every
         guard evaluation; raises :class:`~repro.errors.InvariantViolation`
         on any divergence.  O(n·|rules|)/step — for tests, not benches.
+    obs:
+        Optional metrics registry (:class:`repro.obs.MetricsRegistry`,
+        duck-typed so the state model stays import-free of the
+        observability layer).  When set, every step feeds per-rule /
+        per-protocol execution counts and wall-time, guard-evaluation
+        counts, round completions, neutralization events and per-step
+        wall-time histograms into it.  When ``None`` (the default) the
+        only cost is one ``is not None`` test per step.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class Simulator:
         *,
         full_scan: bool = False,
         debug_check: bool = False,
+        obs: Optional[Any] = None,
     ) -> None:
         if isinstance(protocols, PriorityStack):
             self._stack = protocols
@@ -127,6 +137,17 @@ class Simulator:
         #: count per ``enabled_actions`` call on the stack) — the metric the
         #: engine benchmarks compare across engines.
         self.guard_evals = 0
+        self._obs = obs
+        if obs is not None:
+            #: Bound instruments, resolved once (hot loops must not re-key).
+            self._obs_rule_count: Dict[Tuple[str, str], Any] = {}
+            self._obs_rule_wall: Dict[Tuple[str, str], Any] = {}
+            self._obs_guard = obs.counter("guard_evals")
+            self._obs_rounds = obs.counter("rounds_completed")
+            self._obs_neutralized = obs.counter("neutralizations")
+            self._obs_steps = obs.counter("steps_executed")
+            self._obs_step_wall = obs.histogram("step_wall_s")
+            self._obs_guard_seen = 0
 
     # -- accessors -----------------------------------------------------------
 
@@ -237,9 +258,14 @@ class Simulator:
         If no processor is enabled the configuration is terminal: the report
         has ``terminal=True`` and nothing is executed.
         """
+        obs = self._obs
+        step_started = perf_counter() if obs is not None else 0.0
         self._stack.before_step(self._step)
         enabled = self.enabled_map()
         rec = self.trace
+        if obs is not None and self.guard_evals != self._obs_guard_seen:
+            self._obs_guard.inc(self.guard_evals - self._obs_guard_seen)
+            self._obs_guard_seen = self.guard_evals
 
         # Round bookkeeping part 1: neutralization.  Any processor still
         # owed to the current round that is no longer enabled was
@@ -247,7 +273,10 @@ class Simulator:
         if self._round_pending is None:
             self._round_pending = set(enabled)
         else:
+            owed_before = len(self._round_pending)
             self._round_pending &= enabled.keys()
+            if obs is not None and owed_before > len(self._round_pending):
+                self._obs_neutralized.inc(owed_before - len(self._round_pending))
         round_completed = False
         if not self._round_pending and enabled:
             # Every debtor executed or was neutralized: a round completed,
@@ -255,8 +284,17 @@ class Simulator:
             self._rounds_completed += 1
             self._round_pending = set(enabled)
             round_completed = True
+            if obs is not None:
+                self._obs_rounds.inc()
             if rec.wants("round"):
-                rec.record(Event(step=self._step, kind="round"))
+                # The round completed at the step whose execution paid its
+                # last debt — the *previous* step (completion is detected
+                # at the next evaluation).  Stamp that step, so a marker at
+                # step s means "s is the last step of its round"; the
+                # RoundClock relies on this.  (max() guards the vacuous
+                # round counted when an initially terminal configuration
+                # is revived by the environment before anything executed.)
+                rec.record(Event(step=max(self._step - 1, 0), kind="round"))
 
         # A configuration is terminal only while nothing is enabled; the
         # environment (higher layer) may revive it at a later step.
@@ -275,20 +313,49 @@ class Simulator:
 
         counts = self._rule_counts
         record_actions = rec.wants("action")
-        for pid, action in selection.items():
-            action.execute()
-            counts[action.rule] += 1
-            if record_actions:
-                rec.record(
-                    Event(
-                        step=self._step,
-                        kind="action",
-                        pid=pid,
-                        rule=action.rule,
-                        protocol=action.protocol,
-                        info=action.info,
+        if obs is None:
+            for pid, action in selection.items():
+                action.execute()
+                counts[action.rule] += 1
+                if record_actions:
+                    rec.record(
+                        Event(
+                            step=self._step,
+                            kind="action",
+                            pid=pid,
+                            rule=action.rule,
+                            protocol=action.protocol,
+                            info=action.info,
+                        )
                     )
-                )
+        else:
+            for pid, action in selection.items():
+                action_started = perf_counter()
+                action.execute()
+                wall = perf_counter() - action_started
+                counts[action.rule] += 1
+                key = (action.protocol, action.rule)
+                rule_count = self._obs_rule_count.get(key)
+                if rule_count is None:
+                    rule_count = self._obs_rule_count[key] = obs.counter(
+                        "rule_executions", protocol=action.protocol, rule=action.rule
+                    )
+                    self._obs_rule_wall[key] = obs.counter(
+                        "rule_wall_s", protocol=action.protocol, rule=action.rule
+                    )
+                rule_count.inc()
+                self._obs_rule_wall[key].inc(wall)
+                if record_actions:
+                    rec.record(
+                        Event(
+                            step=self._step,
+                            kind="action",
+                            pid=pid,
+                            rule=action.rule,
+                            protocol=action.protocol,
+                            info=action.info,
+                        )
+                    )
         self._last_selection = selection
 
         # Round bookkeeping part 2: executions pay the round debt.
@@ -297,6 +364,9 @@ class Simulator:
         self._step += 1
         for hook in self._strict_hooks:
             hook(self)
+        if obs is not None:
+            self._obs_steps.inc()
+            self._obs_step_wall.observe(perf_counter() - step_started)
         return StepReport(
             step=self._step - 1,
             executed=selection,

@@ -70,3 +70,88 @@ class TestSimulate:
             ["simulate", "--topology", "grid", "--rows", "2", "--cols", "3",
              "--messages", "5", "--seed", "6"]
         ) == 0
+
+
+class TestObservability:
+    def _simulate_artifact(self, path, capsys):
+        code = main(
+            ["simulate", "--topology", "ring", "--n", "5", "--messages", "4",
+             "--seed", "7", "--jsonl", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_simulate_jsonl_artifact(self, tmp_path, capsys):
+        from repro.obs import read_artifact
+
+        path = self._simulate_artifact(tmp_path / "sim.jsonl", capsys)
+        art = read_artifact(path)
+        kinds = art.kinds()
+        assert kinds["metric"] > 0
+        assert kinds["trace_event"] > 0
+        assert art.meta["topology"] == "ring"
+
+    def test_simulate_timeline_printed(self, capsys):
+        code = main(
+            ["simulate", "--topology", "ring", "--n", "5", "--messages", "4",
+             "--seed", "7", "--timeline", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uid 1" in out
+        assert "generated" in out and "delivered" in out
+
+    def test_experiment_jsonl_artifact(self, tmp_path, capsys):
+        from repro.obs import read_artifact
+
+        path = tmp_path / "p4.jsonl"
+        assert main(["experiment", "P4", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        art = read_artifact(path)
+        assert art.name == "P4"
+        assert art.rows_of_kind("table_row")
+
+    def test_obs_summarize(self, tmp_path, capsys):
+        path = self._simulate_artifact(tmp_path / "sim.jsonl", capsys)
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "trace_event" in out
+
+    def test_obs_diff_identical(self, tmp_path, capsys):
+        path = self._simulate_artifact(tmp_path / "sim.jsonl", capsys)
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        assert "0 numeric differences" in capsys.readouterr().out
+
+    def test_obs_rejects_invalid_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"no": "schema"}\n')
+        assert main(["obs", "summarize", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_sweep_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import read_artifact
+
+        specs = tmp_path / "specs.json"
+        specs.write_text(json.dumps([
+            {
+                "label": "tiny",
+                "topology": {"name": "ring", "kwargs": {"n": 4}},
+                "workload": {"name": "uniform", "kwargs": {"count": 3, "seed": 1}},
+                "seed": 1,
+            },
+        ]))
+        out_path = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", str(specs), "--jsonl", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        art = read_artifact(out_path)
+        rows = art.rows_of_kind("sweep_row")
+        assert len(rows) == 1
+        assert rows[0]["label"] == "tiny"

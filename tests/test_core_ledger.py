@@ -114,3 +114,76 @@ class TestNonStrictMode:
         f = MessageFactory()
         led.record_loss(f.invalid("g", 0, 0, 1), "cleanup")
         assert led.lost_count == 0
+
+
+class TestUidViews:
+    def test_delivered_uids_noncontiguous(self):
+        # The uid space need not be 1..generated_count: a factory can be
+        # shared across simulations, so only some of its uids land here.
+        led = DeliveryLedger()
+        f = MessageFactory()
+        msgs = [f.generated("m", 0, 2, 0, 1) for _ in range(5)]
+        mine = [msgs[1], msgs[4]]  # uids 2 and 5
+        for msg in mine:
+            led.record_generated(msg)
+        led.record_delivery(2, mine[1], step=9)
+        assert led.generated_uids() == [m.uid for m in mine]
+        assert led.delivered_uids() == [mine[1].uid]
+        led.record_delivery(2, mine[0], step=11)
+        assert led.delivered_uids() == [m.uid for m in mine]
+
+    def test_delivered_uids_excludes_ungenerated_strict_mode_off(self):
+        # Non-strict ledgers may record deliveries of uids they never saw
+        # generated (flagged as violations); those have no generation stamp
+        # and must not appear in the measurable-delivery view.
+        led = DeliveryLedger(strict=False)
+        stranger = generated()
+        led.record_delivery(2, stranger, step=5)
+        assert led.violations
+        assert led.delivered_uids() == []
+        assert led.generated_uids() == []
+
+
+class TestObservers:
+    def collect(self, led):
+        events = []
+        led.add_observer(lambda kind, uid, info: events.append((kind, uid, info)))
+        return events
+
+    def test_lifecycle_stream(self):
+        led = DeliveryLedger()
+        events = self.collect(led)
+        msg = generated()
+        led.record_generated(msg)
+        led.record_delivery(2, msg, step=10)
+        assert events == [
+            ("generated", msg.uid, {"source": 0, "dest": 2, "step": 1}),
+            ("delivered", msg.uid, {"at": 2, "step": 10, "valid": True}),
+        ]
+
+    def test_invalid_delivery_observed(self):
+        led = DeliveryLedger()
+        events = self.collect(led)
+        g = MessageFactory().invalid("g", 0, 0, dest=1)
+        led.record_delivery(1, g, step=3)
+        assert events == [("delivered", g.uid, {"at": 1, "step": 3, "valid": False})]
+
+    def test_loss_observed_before_strict_raise(self):
+        # The observer must see the loss even when strict mode then raises:
+        # the tracer's timeline should not silently miss the event that
+        # killed the run.
+        led = DeliveryLedger()
+        events = self.collect(led)
+        msg = generated()
+        led.record_generated(msg)
+        with pytest.raises(SpecificationViolation):
+            led.record_loss(msg, "test erase")
+        assert ("lost", msg.uid, {"reason": "test erase"}) in events
+
+    def test_multiple_observers_in_order(self):
+        led = DeliveryLedger()
+        seen = []
+        led.add_observer(lambda k, u, i: seen.append(("first", k)))
+        led.add_observer(lambda k, u, i: seen.append(("second", k)))
+        led.record_generated(generated())
+        assert seen == [("first", "generated"), ("second", "generated")]

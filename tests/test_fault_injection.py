@@ -61,6 +61,44 @@ class TestInjectorMechanics:
             RoutingFaultInjector(sim.routing, period=0)
 
 
+class TestDriveHaltSemantics:
+    def test_halt_reported_when_met_exactly_at_budget(self):
+        # Regression: drive() checked halt only *before* each step, so a
+        # halt condition satisfied by the very last budgeted step was
+        # reported as a miss (Simulation.run's for-else does the final
+        # check; drive must too).
+        net = ring_network(6)
+        sim = build(net, seed=2)
+        injector = RoutingFaultInjector(
+            sim.routing, period=25, fraction=0.5, seed=2, stop_after=200
+        )
+        assert injector.drive(sim, 300_000, halt=delivered_and_drained)
+        assert sim.ledger.all_valid_delivered()
+        steps_used = sim.sim.step_count
+
+        # Re-run the identical scenario with the budget set exactly to the
+        # number of steps the halt needed: the final evaluation must still
+        # report success.
+        sim2 = build(net, seed=2)
+        injector2 = RoutingFaultInjector(
+            sim2.routing, period=25, fraction=0.5, seed=2, stop_after=200
+        )
+        assert injector2.drive(sim2, steps_used, halt=delivered_and_drained)
+        assert sim2.sim.step_count == steps_used
+
+    def test_returns_false_when_halt_not_reached(self):
+        net = ring_network(6)
+        sim = build(net, seed=5)
+        injector = RoutingFaultInjector(sim.routing, period=25, seed=5)
+        assert not injector.drive(sim, 10, halt=delivered_and_drained)
+
+    def test_returns_false_without_halt(self):
+        net = ring_network(6)
+        sim = build(net, seed=6)
+        injector = RoutingFaultInjector(sim.routing, period=25, seed=6)
+        assert injector.drive(sim, 10) is False
+
+
 class TestExactlyOnceUnderSustainedFaults:
     @pytest.mark.parametrize("seed", range(5))
     def test_ring_with_periodic_faults(self, seed):

@@ -103,6 +103,79 @@ class TestRunSweep:
         )
         assert rows[0]["elapsed_s"] == pytest.approx(4.5)
         assert rows[0]["repeats"] == 3
+        assert rows[0]["errors"] == 0
+
+    def test_aggregate_excludes_error_rows(self):
+        # Regression: with fail_fast=False a failing repetition produced an
+        # {"error": ...} row that seeded / poisoned the max-aggregate —
+        # metric keys went missing and the error text could mask values.
+        # Failed repetitions must be counted, not aggregated.
+        def runner(seed):
+            if seed == 1:  # the second repetition (seed offset +1) fails
+                raise ValueError("boom")
+            return {"value": 100 + seed}
+
+        rows = run_sweep(
+            [{"seed": 0}], runner=runner, repeat=3, fail_fast=False
+        )
+        row = rows[0]
+        assert row["value"] == 102  # max over the two successful reps
+        assert "error" not in row
+        assert row["repeats"] == 3
+        assert row["errors"] == 1
+        assert row["seed"] == 0  # config echo intact
+
+    def test_aggregate_error_first_rep_does_not_seed(self):
+        # The error row being rep #1 used to be the worst case: dict(reps[0])
+        # seeded the output with "error" and no metrics at all.
+        def runner(seed):
+            if seed == 0:
+                raise ValueError("boom")
+            return {"value": seed}
+
+        rows = run_sweep(
+            [{"seed": 0}], runner=runner, repeat=2, fail_fast=False
+        )
+        row = rows[0]
+        assert row["value"] == 1
+        assert "error" not in row
+        assert row["errors"] == 1
+
+    def test_aggregate_all_reps_failed_stays_visible(self):
+        def runner(seed):
+            raise ValueError("always")
+
+        rows = run_sweep(
+            [{"seed": 0}], runner=runner, repeat=2, fail_fast=False
+        )
+        row = rows[0]
+        assert "ValueError" in row["error"]
+        assert row["repeats"] == 2
+        assert row["errors"] == 2
+
+    def test_aggregate_sums_elapsed_over_failed_reps_too(self):
+        # elapsed_s is the cost of producing the row; failures cost time.
+        def runner(seed):
+            raise ValueError("boom")
+
+        rows = run_sweep(
+            [{"seed": 0}], runner=runner, repeat=3, fail_fast=False
+        )
+        assert rows[0]["elapsed_s"] >= 0
+
+    def test_jsonl_artifact_written(self, tmp_path):
+        from repro.obs import read_artifact
+
+        path = tmp_path / "sweep.jsonl"
+        rows = run_sweep(
+            [{"x": 1}, {"x": 2}],
+            runner=lambda x: {"double": 2 * x},
+            jsonl_path=str(path),
+        )
+        art = read_artifact(path)
+        got = art.rows_of_kind("sweep_row")
+        assert [r["double"] for r in got] == [r["double"] for r in rows]
+        assert art.meta["configs"] == 2
 
 
 class TestParallelSweep:
@@ -167,3 +240,93 @@ class TestFormatTable:
     def test_floats_compact(self):
         out = format_table([{"x": 0.123456789}])
         assert "0.123" in out and "0.123456789" not in out
+
+    def test_large_floats_not_scientific(self):
+        # Regression: "%.3g" rendered 1234.5 as "1.23e+03" — every steps/
+        # guard-evals column over 1000 came out mangled and lossy.
+        out = format_table([{"x": 1234.5}, {"x": 86272.0}])
+        assert "1234.5" in out
+        assert "86272" in out
+        assert "e+" not in out
+
+    def test_float_rendering_cases(self):
+        from repro.sim.reporting import _fmt
+
+        assert _fmt(1234.5) == "1234.5"
+        assert _fmt(3.0) == "3"
+        assert _fmt(0.1235499) == "0.124"  # 3 decimals, rounded
+        assert _fmt(0.0001234) == "0.000123"  # tiny values keep %.3g
+        assert _fmt(float("nan")) == "nan"
+        assert _fmt(float("inf")) == "inf"
+        assert _fmt(True) == "True"  # bool is not a number here
+        assert _fmt(None) == "-"
+
+    def test_numeric_columns_right_aligned_golden(self):
+        out = format_table(
+            [
+                {"name": "ring", "steps": 5, "ratio": 1.25},
+                {"name": "torus-long", "steps": 12345, "ratio": 0.5},
+            ],
+            columns=["name", "steps", "ratio"],
+            title="T",
+        )
+        assert out == "\n".join(
+            [
+                "T",
+                "name       | steps | ratio",
+                "------------+-------+-------",
+                "ring       |     5 |  1.25",
+                "torus-long | 12345 |   0.5",
+            ]
+        )
+
+    def test_mixed_column_stays_left_aligned(self):
+        # A column with any non-numeric value is a label column.
+        out = format_table(
+            [{"v": 10}, {"v": "n/a"}], columns=["v"], title=None
+        )
+        lines = out.splitlines()
+        assert lines[2] == "10 "
+        assert lines[3] == "n/a"
+
+    def test_none_cells_do_not_block_numeric_alignment(self):
+        out = format_table([{"v": 7}, {"v": None}], columns=["v"])
+        lines = out.splitlines()
+        assert lines[2] == "7"
+        assert lines[3] == "-"
+
+    def test_bool_column_left_aligned(self):
+        out = format_table(
+            [{"ok": True, "x": 1}, {"ok": False, "x": 2}], columns=["ok", "x"]
+        )
+        lines = out.splitlines()
+        assert lines[2].startswith("True ")
+
+
+class TestTableSink:
+    def test_sink_sees_every_table(self):
+        from repro.sim import reporting
+
+        captured = []
+        previous = reporting.set_table_sink(
+            lambda title, cols, rows: captured.append((title, cols, rows))
+        )
+        try:
+            format_table([{"a": 1}], columns=["a"], title="T1")
+            format_table([{"b": 2}])
+        finally:
+            reporting.set_table_sink(previous)
+        assert captured == [
+            ("T1", ["a"], [{"a": 1}]),
+            (None, ["b"], [{"b": 2}]),
+        ]
+
+    def test_set_table_sink_returns_previous(self):
+        from repro.sim import reporting
+
+        first = lambda *a: None  # noqa: E731
+        assert reporting.set_table_sink(first) is None
+        try:
+            assert reporting.set_table_sink(None) is first
+        finally:
+            reporting.set_table_sink(None)

@@ -11,6 +11,7 @@ from repro.sim.metrics import (
     moves_per_delivery,
 )
 from repro.sim.runner import build_simulation, delivered_and_drained
+from repro.statemodel.daemon import SynchronousDaemon
 from repro.statemodel.message import MessageFactory
 from repro.statemodel.trace import Event, TraceRecorder
 
@@ -23,15 +24,50 @@ class TestRoundClock:
         assert clock.completed_rounds == 0
 
     def test_rounds_partition_steps(self):
+        # A marker at step s means "s is the LAST step of its round": the
+        # simulator stamps the step whose execution paid the round's final
+        # debt.  (Regression: markers used to be stamped one step late, at
+        # the detection step, and round_of_step used bisect_right — the two
+        # off-by-ones cancelled on engine traces but made hand-built traces
+        # like this one come out wrong.)
         tr = TraceRecorder()
         tr.record(Event(step=4, kind="round"))
         tr.record(Event(step=9, kind="round"))
         clock = RoundClock(tr)
         assert clock.round_of_step(0) == 1
-        assert clock.round_of_step(4) == 2   # marker at step 4 ends round 1
-        assert clock.round_of_step(8) == 2
-        assert clock.round_of_step(9) == 3
+        assert clock.round_of_step(4) == 1   # marker step belongs to round 1
+        assert clock.round_of_step(5) == 2   # next step opens round 2
+        assert clock.round_of_step(9) == 2
+        assert clock.round_of_step(10) == 3
         assert clock.completed_rounds == 2
+
+    def test_marker_step_is_last_step_of_its_round(self):
+        # Under the synchronous daemon every enabled processor executes at
+        # every step, so each round's debt is paid by exactly one step and
+        # round k's marker must carry that executing step — not the step
+        # at which completion was detected (one later).
+        net = line_network(4)
+        trace = TraceRecorder()
+        sim = build_simulation(
+            net,
+            workload=uniform_workload(net.n, 4, seed=0),
+            daemon=SynchronousDaemon(),
+            trace=trace,
+            seed=1,
+        )
+        sim.run(10_000, halt=delivered_and_drained)
+        markers = [e.step for e in trace.events if e.kind == "round"]
+        action_steps = sorted({e.step for e in trace.events if e.kind == "action"})
+        assert markers, "expected completed rounds"
+        # Every marker is stamped with a step that actually executed
+        # actions, and (synchronous daemon: one round per step) the markers
+        # are exactly the first len(markers) executing steps.
+        assert set(markers) <= set(action_steps)
+        assert markers == action_steps[: len(markers)]
+        clock = RoundClock(trace)
+        for k, s in enumerate(markers, start=1):
+            assert clock.round_of_step(s) == k
+            assert clock.round_of_step(s + 1) == k + 1
 
 
 class TestLatencies:
@@ -57,6 +93,21 @@ class TestLatencies:
         led = DeliveryLedger()
         led.record_generated(MessageFactory().generated("x", 0, 1, 0, 0))
         assert delivery_latency_steps(led) == {}
+
+    def test_noncontiguous_uids_all_measured(self):
+        # Regression: latency collection used to scan range(1,
+        # generated_count + 1), silently dropping every uid outside that
+        # window whenever the ledger's uid space had gaps (e.g. a message
+        # factory shared with another simulation).
+        led = DeliveryLedger()
+        factory = MessageFactory()
+        msgs = [factory.generated("x", 0, 1, 0, 2) for _ in range(6)]
+        # Only uids 2, 4, 6 of this factory belong to "our" ledger.
+        for msg in msgs[1::2]:
+            led.record_generated(msg)
+            led.record_delivery(1, msg, step=10)
+        assert sorted(delivery_latency_steps(led)) == [m.uid for m in msgs[1::2]]
+        assert all(v == 8 for v in delivery_latency_steps(led).values())
 
     def test_end_to_end_latencies_nonnegative(self):
         net = line_network(5)
