@@ -106,21 +106,49 @@ def test_bench_engine_uniform_grid8x8(benchmark):
 
 # The scenarios of the incremental-vs-full-scan engine table (ENGINE.txt):
 # trickle = sparse traffic on converged routing (the locality showcase),
-# churn = corrupted routing recovering while traffic flows (worst case for
-# dirty-set locality: the repair itself touches everything).
+# churn = corrupted routing recovering while traffic flows (the case the
+# component-granular dirty sets exist for: repair floods processors, but
+# each repair move touches one destination component).  The n=256 scale
+# points run a fixed step budget instead of to completion — the full scan
+# pays ~n^2 component evaluations per step there, and the comparison only
+# needs both engines to execute the same schedule, which is asserted.
+# Fields: (label, net, workload, corruption, steps_cap | None).
 _ENGINE_SCENARIOS = (
     ("ring64-trickle", lambda: ring_network(64),
-     lambda n: uniform_workload(n, count=64, seed=7, spread_steps=1200), None),
+     lambda n: uniform_workload(n, count=64, seed=7, spread_steps=1200),
+     None, None),
     ("grid8x8-trickle", lambda: grid_network(8, 8),
-     lambda n: uniform_workload(n, count=64, seed=7, spread_steps=800), None),
+     lambda n: uniform_workload(n, count=64, seed=7, spread_steps=800),
+     None, None),
     ("ring64-churn", lambda: ring_network(64),
      lambda n: uniform_workload(n, count=64, seed=7, spread_steps=1200),
-     {"kind": "random", "fraction": 0.3, "seed": 5}),
+     {"kind": "random", "fraction": 0.3, "seed": 5}, None),
+    ("ring256-churn", lambda: ring_network(256),
+     lambda n: uniform_workload(n, count=128, seed=7, spread_steps=1200),
+     {"kind": "random", "fraction": 0.3, "seed": 5}, 400),
+    ("grid16x16-trickle", lambda: grid_network(16, 16),
+     lambda n: uniform_workload(n, count=128, seed=7, spread_steps=1600),
+     None, 400),
 )
 
+# Regression pins for the incremental engine's component-evaluation counts.
+# The runs are fully seeded and deterministic across machines, so any
+# increase means the dirty sets got coarser (or a cache started missing) —
+# CI runs this bench and fails the build on regression.  Small headroom
+# (~10%) over the recorded values keeps benign accounting tweaks from
+# tripping it without hiding a real granularity loss.
+_INCR_GUARD_CEILINGS = {
+    "ring64-trickle": 16_500,       # measured 14,822
+    "grid8x8-trickle": 11_200,      # measured 10,118
+    "ring64-churn": 88_500,         # measured 80,132
+    "ring256-churn": 241_000,       # measured 218,576
+    "grid16x16-trickle": 77_000,    # measured 69,879
+}
 
-def _engine_row(label, net_builder, wl_builder, corruption):
+
+def _engine_row(label, net_builder, wl_builder, corruption, steps_cap):
     row = {"scenario": label}
+    rule_counts = {}
     for mode, tag in ((False, "incr"), (True, "full")):
         net = net_builder()
         sim = build_simulation(
@@ -132,19 +160,28 @@ def _engine_row(label, net_builder, wl_builder, corruption):
             full_scan=mode,
         )
         t0 = time.perf_counter()
-        result = sim.run(1_000_000, halt=delivered_and_drained)
+        if steps_cap is None:
+            result = sim.run(1_000_000, halt=delivered_and_drained)
+        else:
+            result = sim.run(steps_cap, halt=delivered_and_drained,
+                             raise_on_limit=False)
         row[f"{tag}_s"] = round(time.perf_counter() - t0, 3)
         row[f"{tag}_guard_evals"] = sim.sim.guard_evals
         row[f"{tag}_steps"] = result.steps
-    assert row["incr_steps"] == row["full_steps"]  # equivalence, cheaply
+        rule_counts[tag] = result.rule_counts
+    # Equivalence, cheaply: same schedule length and same executed moves.
+    assert row["incr_steps"] == row["full_steps"]
+    assert rule_counts["incr"] == rule_counts["full"]
     row["guard_ratio"] = round(row["full_guard_evals"] / row["incr_guard_evals"], 1)
     row["speedup"] = round(row["full_s"] / row["incr_s"], 1)
     return row
 
 
 def test_bench_engine_incremental_vs_full_scan(benchmark):
-    """The headline engine table: dirty-set guard caching vs classic full
-    re-evaluation, n >= 64, identical executions on both engines."""
+    """The headline engine table: component-granular guard caching vs
+    classic full re-evaluation, n >= 64, identical executions on both
+    engines.  guard_evals counts (processor, destination) component
+    evaluations in both engines (see docs/engine.md)."""
     rows = bench_once(
         benchmark,
         lambda: [_engine_row(*scenario) for scenario in _ENGINE_SCENARIOS],
@@ -157,19 +194,27 @@ def test_bench_engine_incremental_vs_full_scan(benchmark):
                 "scenario", "incr_steps", "incr_guard_evals", "full_guard_evals",
                 "guard_ratio", "incr_s", "full_s", "speedup",
             ],
-            title="ENGINE — incremental enabled-set engine vs full scan "
-                  "(same seeds, identical executions)",
+            title="ENGINE — component-granular incremental engine vs full "
+                  "scan (same seeds, identical executions)",
         ),
         rows=rows,
         meta={"table": "ENGINE", "scenarios": len(rows)},
     )
     by_label = {r["scenario"]: r for r in rows}
-    # Acceptance: >=3x fewer guard evaluations and a real wall-clock win on
-    # the n>=64 trickle scenarios; never slower even under routing churn.
-    for label in ("ring64-trickle", "grid8x8-trickle"):
+    # Acceptance: large guard-eval ratios and a real wall-clock win on the
+    # n>=64 trickle scenarios; component granularity must close the churn
+    # gap (>=4x on ring64-churn, was 1.9x with per-processor dirty sets).
+    for label in ("ring64-trickle", "grid8x8-trickle", "grid16x16-trickle"):
         assert by_label[label]["guard_ratio"] >= 3.0
         assert by_label[label]["speedup"] > 1.0
+    assert by_label["ring64-churn"]["guard_ratio"] >= 4.0
     assert by_label["ring64-churn"]["speedup"] >= 1.0
+    assert by_label["ring256-churn"]["guard_ratio"] >= 4.0
+    for label, ceiling in _INCR_GUARD_CEILINGS.items():
+        assert by_label[label]["incr_guard_evals"] <= ceiling, (
+            f"{label}: incremental guard evals regressed above the pinned "
+            f"ceiling ({by_label[label]['incr_guard_evals']} > {ceiling})"
+        )
 
 
 def test_bench_routing_convergence(benchmark):

@@ -19,7 +19,7 @@ never consider.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.statemodel.message import Message
@@ -54,6 +54,13 @@ class HigherLayer:
         self._on_deliver = on_deliver
         self._delivered: List[Tuple[ProcId, Message, int]] = []
         self._local_deliveries = 0
+        #: ``p -> dest`` for every raised request — the incremental index
+        #: behind :meth:`requested_destinations`.  Maintained by the raise
+        #: (:meth:`before_step`) / lower (:meth:`consume_request`) pair;
+        #: while ``request_p`` is raised the outbox head is stable (submits
+        #: append, only ``consume_request`` pops), so the recorded ``dest``
+        #: always equals ``nextDestination_p``.
+        self._requested: Dict[ProcId, DestId] = {}
         self._on_request_change: Optional[
             Callable[[ProcId, Optional[DestId]], None]
         ] = None
@@ -119,8 +126,10 @@ class HigherLayer:
         for p in range(self._n):
             if not self.request[p] and self._outbox[p]:
                 self.request[p] = True
+                dest = self._outbox[p][0][1]
+                self._requested[p] = dest
                 if notify is not None:
-                    notify(p, self._outbox[p][0][1])
+                    notify(p, dest)
 
     def next_message(self, p: ProcId) -> Any:
         """The paper's ``nextMessage_p`` macro (payload of the waiting
@@ -139,9 +148,21 @@ class HigherLayer:
             raise ConfigurationError(f"consume_request({p}) with empty outbox")
         item = self._outbox[p].popleft()
         self.request[p] = False
+        self._requested.pop(p, None)
         if self._on_request_change is not None:
             self._on_request_change(p, item[1])
         return item
+
+    def requested_destinations(self) -> Set[DestId]:
+        """Destinations some processor currently has a raised request for —
+        O(raised requests), never an O(n) sweep of the request flags.
+
+        Entries whose ``request_p`` was lowered out-of-band (a subclass
+        bypassing :meth:`consume_request`) are filtered against the flag, so
+        the index can only over-remember, never under-report a raised
+        request."""
+        request = self.request
+        return {d for p, d in self._requested.items() if request[p]}
 
     # -- delivery ------------------------------------------------------------
 

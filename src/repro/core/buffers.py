@@ -14,7 +14,7 @@ the incremental engine uses to maintain its dirty sets.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Set, Tuple
 
 from repro.statemodel.message import Message
 from repro.types import DestId, ProcId
@@ -27,7 +27,7 @@ WriteNotifier = Callable[[DestId, ProcId, str], None]
 class ForwardingBuffers:
     """All ``bufR``/``bufE`` buffers of one SSMFP instance."""
 
-    __slots__ = ("n", "R", "E", "_occupied", "_notify")
+    __slots__ = ("n", "R", "E", "_occupied", "_occupied_set", "_notify")
 
     def __init__(self, n: int) -> None:
         self.n = n
@@ -36,6 +36,10 @@ class ForwardingBuffers:
         #: ``E[d][p]`` — emission buffer of processor p for destination d.
         self.E: List[List[Optional[Message]]] = [[None] * n for _ in range(n)]
         self._occupied = [0] * n
+        #: Destinations with a nonzero occupancy count — maintained on every
+        #: write so "which components hold messages" is O(occupied), not an
+        #: O(n) sweep of the counts.
+        self._occupied_set: Set[DestId] = set()
         self._notify: Optional[WriteNotifier] = None
 
     def bind_notifier(self, notify: Optional[WriteNotifier]) -> None:
@@ -65,7 +69,14 @@ class ForwardingBuffers:
         """Write ``bufR_p(d)``."""
         old = self.R[d][p]
         self.R[d][p] = msg
-        self._occupied[d] += (msg is not None) - (old is not None)
+        delta = (msg is not None) - (old is not None)
+        if delta:
+            occ = self._occupied[d] + delta
+            self._occupied[d] = occ
+            if occ == 0:
+                self._occupied_set.discard(d)
+            elif delta > 0:
+                self._occupied_set.add(d)
         if self._notify is not None:
             self._notify(d, p, "R")
 
@@ -73,7 +84,14 @@ class ForwardingBuffers:
         """Write ``bufE_p(d)``."""
         old = self.E[d][p]
         self.E[d][p] = msg
-        self._occupied[d] += (msg is not None) - (old is not None)
+        delta = (msg is not None) - (old is not None)
+        if delta:
+            occ = self._occupied[d] + delta
+            self._occupied[d] = occ
+            if occ == 0:
+                self._occupied_set.discard(d)
+            elif delta > 0:
+                self._occupied_set.add(d)
         if self._notify is not None:
             self._notify(d, p, "E")
 
@@ -89,6 +107,11 @@ class ForwardingBuffers:
     def occupied_in_component(self, d: DestId) -> int:
         """Number of nonempty buffers in destination ``d``'s component."""
         return self._occupied[d]
+
+    def occupied_components(self) -> Set[DestId]:
+        """Destinations with at least one nonempty buffer — the live index
+        maintained by the mutators (treat as read-only)."""
+        return self._occupied_set
 
     def total_occupied(self) -> int:
         """Nonempty buffers across all components."""

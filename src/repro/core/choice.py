@@ -97,6 +97,13 @@ class FairChoiceQueue:
         waiting message's hop count), FIFO-stable within equal ages.
         """
         cand = set(candidates)
+        if not cand and not self._q:
+            # Empty-to-empty reconcile: nothing to reorder, the head stays
+            # None so there is nothing to notify, and no wait-age can exist
+            # without a queued candidate.  This is the dominant case when a
+            # full reconcile sweeps a mostly-idle component, so skip the
+            # list rebuilds entirely.
+            return
         head_before = self._q[0] if self._q else None
         if self._policy == "fixed":
             self._q = sorted(cand)

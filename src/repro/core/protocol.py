@@ -13,22 +13,29 @@ below the routing protocol to get the paper's ``A ≫ SSMFP`` arrangement.
 
 Incremental engine
 ------------------
-Every guard of Algorithm 1 at processor ``p`` reads only the closed
-neighborhood of ``p``: its own buffers and queue head, its neighbors'
-buffers, ``request_p``, and ``nextHop`` entries of ``p`` and its neighbors
-(``last``-hop fields are always in ``N_p ∪ {p}`` — enforced by the
-corruption helpers).  SSMFP therefore opts into the simulator's dirty-set
-protocol: all buffer, queue, request and routing mutations flow through
-notifier hooks, and :meth:`dirty_after` reports exactly the closed
-neighborhoods of the writers.  The same notifications drive *incremental
-queue reconciliation*: ``before_step`` re-syncs only the ``choice`` queues
-whose candidate sets may have changed instead of sweeping every active
-component (the ``aged_fair`` policy is the exception — its wait-ages tick
-once per reconciliation, so it keeps the full per-step sweep; queue-head
-notifications keep guard caching exact even then).  ``next_hop`` lookups
-are cached per ``(d, p)`` and invalidated through the routing observer, so
-``candidates()`` stops re-querying the routing service per neighbor per
-step.  See ``docs/engine.md`` for the locality argument.
+Every guard of Algorithm 1 at processor ``p`` for destination ``d`` reads
+only *component ``d``* in the closed neighborhood of ``p``: ``p``'s own
+buffers and queue head for ``d``, its neighbors' component-``d`` buffers,
+``request_p`` (which concerns exactly one destination), and ``nextHop``
+entries for ``d`` at ``p`` and its neighbors (``last``-hop fields are
+always in ``N_p ∪ {p}`` — enforced by the corruption helpers).  SSMFP
+therefore opts into the simulator's dirty-set protocol at *component*
+granularity: all buffer, queue, request and routing mutations flow through
+notifier hooks that dirty ``(q, d)`` pairs (writer's closed neighborhood,
+single destination), rule-produced action lists are cached per component
+and reconciled only when dirty, and a processor's enabled list is
+assembled from its non-empty component entries in O(occupied components)
+(:mod:`repro.statemodel.components`).  :meth:`dirty_after` reports the
+processor projection of the component dirt.  The same notifications drive
+*incremental queue reconciliation*: ``before_step`` re-syncs only the
+``choice`` queues whose candidate sets may have changed instead of
+sweeping every active component (the ``aged_fair`` policy is the exception
+— its wait-ages tick once per reconciliation, so it keeps the full
+per-step sweep; queue-head notifications keep guard caching exact even
+then).  ``next_hop`` lookups are cached per ``(d, p)`` and invalidated
+through the routing observer, so ``candidates()`` stops re-querying the
+routing service per neighbor per step.  See ``docs/engine.md`` for the
+per-rule locality argument.
 
 Ablation knobs (all default to the paper's design):
 
@@ -54,6 +61,7 @@ from repro.network.graph import Network
 from repro.network.properties import max_degree
 from repro.routing.table import RoutingService
 from repro.statemodel.action import Action
+from repro.statemodel.components import ComponentDirtyCache
 from repro.statemodel.message import MessageFactory
 from repro.statemodel.protocol import Protocol
 from repro.types import Color, DestId, ProcId
@@ -63,6 +71,7 @@ class SSMFP(Protocol):
     """Snap-Stabilizing Message Forwarding Protocol."""
 
     name = "SSMFP"
+    tracks_components = True
 
     def __init__(
         self,
@@ -116,7 +125,13 @@ class SSMFP(Protocol):
         self._sync_every_step = choice_policy == "aged_fair"
         self._all_dirty = True
         self._residue_purged = False
-        self._guard_dirty: Set[ProcId] = set()
+        #: Component-granular dirty sets + per-(p, d) action cache.  Only
+        #: consulted outside the all-dirty regime (i.e. after the simulator
+        #: has started draining :meth:`dirty_after`); external callers that
+        #: never drain — the model checker, direct test probes — stay on the
+        #: classic fresh scan forever.
+        self._components = ComponentDirtyCache(n)
+        self.component_evals = 0
         #: Queues to re-sync at the next ``before_step``, per destination.
         self._resync: Dict[DestId, Set[ProcId]] = {}
         #: Cached ``next_hop`` values, ``None`` = not yet queried.
@@ -176,40 +191,48 @@ class SSMFP(Protocol):
 
     def _on_buffer_write(self, d: DestId, p: ProcId, kind: str) -> None:
         """A buffer of ``p`` in component ``d`` was written.  Guards reading
-        it live in the closed neighborhood of ``p``; emission-buffer writes
-        also change the candidate sets of ``p``'s neighbors."""
+        it live in component ``d`` of the closed neighborhood of ``p``
+        (buffers are strictly per-destination — no rule reads across
+        components); emission-buffer writes also change the candidate sets
+        of ``p``'s neighbors."""
         if self._all_dirty:
             return
         nbhd = self._nbhd[p]
-        self._guard_dirty.update(nbhd)
+        self._components.mark_many(nbhd, d)
         if kind != "R":
             self._resync.setdefault(d, set()).update(nbhd)
 
     def _on_queue_event(self, key, kind: str) -> None:
-        """``choice_p(d)`` changed.  Only ``p``'s own guards read the head;
-        out-of-sync mutations (serve/force) additionally require the queue
-        to be reconciled before the next guard evaluation."""
+        """``choice_p(d)`` changed.  Only ``p``'s own guards for component
+        ``d`` read the head; out-of-sync mutations (serve/force)
+        additionally require the queue to be reconciled before the next
+        guard evaluation."""
         if self._all_dirty:
             return
         d, p = key
-        self._guard_dirty.add(p)
+        self._components.mark(p, d)
         if kind == "mutate":
             self._resync.setdefault(d, set()).add(p)
 
     def _on_request_change(self, p: ProcId, dest: Optional[DestId]) -> None:
-        """``request_p`` was raised or lowered for destination ``dest``."""
+        """``request_p`` was raised or lowered for destination ``dest`` —
+        only R1 at the single component ``(p, dest)`` reads the handshake."""
         if self._all_dirty:
             return
-        self._guard_dirty.add(p)
-        if dest is not None:
-            self._resync.setdefault(dest, set()).add(p)
+        if dest is None:
+            # A raise/lower with no identifiable destination cannot be
+            # localized; fall back to the full re-scan hatch.
+            self.mark_all_dirty()
+            return
+        self._components.mark(p, dest)
+        self._resync.setdefault(dest, set()).add(p)
 
     def _on_routing_change(self, p: Optional[ProcId], d: Optional[DestId]) -> None:
         """``nextHop_p(d)`` moved (or, with ``(None, None)``, the whole
         table was rewritten).  Invalidate the hop cache and dirty every
-        reader: ``p``'s own R4 guard, the candidate sets of ``p``'s
-        neighbors, and R5 at holders of copies last forwarded by ``p``
-        (always within the closed neighborhood)."""
+        reader — all in component ``d``: ``p``'s own R4 guard, the candidate
+        sets of ``p``'s neighbors, and R5 at holders of copies last
+        forwarded by ``p`` (always within the closed neighborhood)."""
         if p is None or d is None:
             for row in self._nh_cache:
                 for i in range(len(row)):
@@ -220,14 +243,15 @@ class SSMFP(Protocol):
         if self._all_dirty:
             return
         nbhd = self._nbhd[p]
-        self._guard_dirty.update(nbhd)
+        self._components.mark_many(nbhd, d)
         self._resync.setdefault(d, set()).update(nbhd)
 
     def mark_all_dirty(self) -> None:
         """Fall back to a full re-scan and full queue reconciliation at the
-        next step — the hatch for mutations outside the notifier hooks."""
+        next step — the hatch for mutations outside the notifier hooks.
+        The component cache is rebuilt wholesale when the simulator next
+        drains :meth:`dirty_after`."""
         self._all_dirty = True
-        self._guard_dirty.clear()
         self._resync.clear()
 
     def dirty_after(self, selection) -> Optional[Set[ProcId]]:
@@ -235,11 +259,14 @@ class SSMFP(Protocol):
             return None
         if self._all_dirty:
             self._all_dirty = False
-            self._guard_dirty.clear()
+            self._components.invalidate_all()
             return None
-        dirty = self._guard_dirty
-        self._guard_dirty = set()
-        return dirty
+        # Project the component dirt onto processors *without* draining it:
+        # each processor's dirty components are reconciled lazily inside
+        # :meth:`enabled_actions`.  A processor whose SSMFP actions are
+        # priority-masked (the routing layer answers first) keeps its dirt
+        # until the mask lifts and its components are finally re-evaluated.
+        return set(self._components.dirty_pids)
 
     # -- Protocol interface ------------------------------------------------------
 
@@ -304,41 +331,103 @@ class SSMFP(Protocol):
 
     def active_destinations(self) -> Set[DestId]:
         """Destinations whose component holds messages or has a pending
-        generation request."""
-        active: Set[DestId] = {
-            d
-            for d in self.net.processors()
-            if self.bufs.occupied_in_component(d) > 0
-        }
-        for p in self.net.processors():
-            if self.hl.request[p]:
-                nd = self.hl.next_destination(p)
-                if nd is not None:
-                    active.add(nd)
-        return active
+        generation request — O(active) from the incrementally maintained
+        occupancy and request indexes, never an O(n) sweep."""
+        return self.bufs.occupied_components() | self.hl.requested_destinations()
 
-    def enabled_actions(self, pid: ProcId) -> List[Action]:
-        actions: List[Action] = []
+    def _active_sorted(self, request_dest: Optional[DestId]) -> List[DestId]:
+        """Ascending list of destinations a scan must examine: occupied
+        components plus (when raised) the scanning processor's own request
+        destination.  Ascending order is part of the enabled-list contract —
+        daemons observe it."""
+        occ = self.bufs.occupied_components()
+        if request_dest is not None and request_dest not in occ:
+            return sorted([*occ, request_dest])
+        return sorted(occ)
+
+    def _eval_component(self, pid: ProcId, d: DestId) -> List[Action]:
+        """Evaluate rules R1–R6 at the single component ``(pid, d)``.
+
+        Fast path: with both local buffers empty, only R1 (a pending
+        request chosen by the queue) or R3 (a queued neighbor offer) can be
+        enabled — both require a nonempty choice queue.  Sound whether or
+        not the component is active, so the reconcile path can call this
+        for any dirty component.
+        """
         bufs = self.bufs
+        if (
+            bufs.R[d][pid] is None
+            and bufs.E[d][pid] is None
+            and self.queues[d][pid].head() is None
+        ):
+            return []
+        actions: List[Action] = []
+        for rule in ALL_RULES:
+            action = rule(self, pid, d)
+            if action is not None:
+                actions.append(action)
+        return actions
+
+    def _scan_enabled(self, pid: ProcId, count: bool) -> List[Action]:
+        """Classic left-to-right scan over the active destinations (the
+        full-scan engine and the pre-cache oracle)."""
         hl = self.hl
         request_dest = hl.next_destination(pid) if hl.request[pid] else None
-        for d in self.net.processors():
-            if bufs.occupied_in_component(d) == 0 and request_dest != d:
-                continue
-            # Fast path: with both local buffers empty, only R1 (a pending
-            # request chosen by the queue) or R3 (a queued neighbor offer)
-            # can be enabled — both require a nonempty choice queue.
-            if (
-                bufs.R[d][pid] is None
-                and bufs.E[d][pid] is None
-                and self.queues[d][pid].head() is None
-            ):
-                continue
-            for rule in ALL_RULES:
-                action = rule(self, pid, d)
-                if action is not None:
-                    actions.append(action)
+        active = self._active_sorted(request_dest)
+        if count:
+            self.component_evals += len(active)
+        actions: List[Action] = []
+        for d in active:
+            actions.extend(self._eval_component(pid, d))
         return actions
+
+    def _rebuild_components(self, pid: ProcId) -> None:
+        """(Re)build every component entry of ``pid`` from scratch — same
+        cost and same examination order as one classic scan."""
+        cache = self._components
+        entries = cache.entries[pid]
+        entries.clear()
+        hl = self.hl
+        request_dest = hl.next_destination(pid) if hl.request[pid] else None
+        active = self._active_sorted(request_dest)
+        self.component_evals += len(active)
+        for d in active:
+            acts = self._eval_component(pid, d)
+            if acts:
+                entries[d] = acts
+        cache.dirty[pid].clear()
+        cache.valid[pid] = True
+
+    def _reconcile_components(self, pid: ProcId) -> None:
+        """Re-evaluate only ``pid``'s dirty components, updating the
+        non-empty-entry index in place."""
+        cache = self._components
+        entries = cache.entries[pid]
+        dirty = cache.dirty[pid]
+        self.component_evals += len(dirty)
+        for d in dirty:
+            acts = self._eval_component(pid, d)
+            if acts:
+                entries[d] = acts
+            else:
+                entries.pop(d, None)
+        dirty.clear()
+
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        if not self._incremental or self._all_dirty:
+            return self._scan_enabled(pid, count=True)
+        cache = self._components
+        if not cache.valid[pid]:
+            self._rebuild_components(pid)
+        elif cache.dirty[pid]:
+            self._reconcile_components(pid)
+        cache.dirty_pids.discard(pid)
+        return cache.assemble(pid)
+
+    def enabled_actions_fresh(self, pid: ProcId) -> List[Action]:
+        """The ``debug_check`` oracle: always a full fresh scan, no caches,
+        no counting."""
+        return self._scan_enabled(pid, count=False)
 
     # -- introspection -----------------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.network.graph import Network
 from repro.network.properties import all_pairs_distances
 from repro.routing.table import RoutingService
 from repro.statemodel.action import Action
+from repro.statemodel.components import ComponentDirtyCache
 from repro.statemodel.protocol import Protocol
 from repro.types import DestId, ProcId
 
@@ -43,10 +44,19 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
     :mod:`repro.routing.corruption` to scramble it into an adversarial
     initial configuration (they call :meth:`invalidate` so the incremental
     engine re-scans).
+
+    Like SSMFP, the protocol is ``n`` mutually independent per-destination
+    algorithms: RTself/RTfix at ``(p, d)`` read only ``dist(d)`` entries in
+    ``p``'s closed neighborhood.  It therefore keeps the same per-component
+    action cache (:mod:`repro.statemodel.components`): a table write at
+    ``p`` for destination ``d`` dirties only component ``d`` in ``N_p ∪
+    {p}`` instead of forcing all ``n`` destinations of those processors to
+    re-evaluate.
     """
 
     name = "A"
     notifies_mutations = True
+    tracks_components = True
 
     def __init__(self, net: Network) -> None:
         self._net = net
@@ -65,10 +75,16 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
                 else:
                     row.append(min(q for q in net.neighbors(p) if td[q] == td[p] - 1))
             self.hop.append(row)
-        # Incremental-engine bookkeeping: processors whose *own* guards may
-        # have changed since the last drain (None = anything, the safe
-        # initial state — external code may have scrambled the tables).
-        self._dirty: Optional[Set[ProcId]] = None
+        # Incremental-engine bookkeeping.  The all-dirty regime is the safe
+        # initial state (external code may have scrambled the tables) and
+        # the fallback after :meth:`invalidate`; it ends — and the component
+        # cache starts being consulted — only once the simulator drains
+        # :meth:`dirty_after`.
+        self._all_dirty = True
+        self._components = ComponentDirtyCache(n)
+        self.component_evals = 0
+        #: Closed neighborhood of every processor, precomputed.
+        self._nbhd = [(p, *net.neighbors(p)) for p in net.processors()]
 
     # -- incremental-engine hooks -------------------------------------------
 
@@ -78,20 +94,24 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         cache) is told to drop derived state.  The corruption helpers and
         the fault injector call this after writing ``dist``/``hop`` rows
         directly."""
-        self._dirty = None
+        self._all_dirty = True
         self._notify_all()
 
-    def _mark_dirty(self, p: ProcId) -> None:
-        """RTfix at ``q`` reads ``dist_r(d)`` of every neighbor ``r``, so a
-        write at ``p`` dirties the closed neighborhood of ``p``."""
-        if self._dirty is not None:
-            self._dirty.add(p)
-            self._dirty.update(self._net.neighbors(p))
+    def _mark_dirty(self, p: ProcId, d: DestId) -> None:
+        """RTfix at ``q`` for destination ``d`` reads ``dist_r(d)`` of every
+        neighbor ``r``, so a write at ``(p, d)`` dirties component ``d`` in
+        the closed neighborhood of ``p`` — and nothing else."""
+        if not self._all_dirty:
+            self._components.mark_many(self._nbhd[p], d)
 
     def dirty_after(self, selection) -> Optional[Set[ProcId]]:
-        dirty = self._dirty
-        self._dirty = set()
-        return dirty
+        if self._all_dirty:
+            self._all_dirty = False
+            self._components.invalidate_all()
+            return None
+        # Processor projection of the component dirt; reconciled lazily in
+        # :meth:`enabled_actions` (see SSMFP for the masking argument).
+        return set(self._components.dirty_pids)
 
     # -- RoutingService ------------------------------------------------------
 
@@ -140,17 +160,60 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
             bh = self._net.neighbors(p)[0]
         return min(best + 1, self._cap), bh
 
-    def enabled_actions(self, pid: ProcId) -> List[Action]:
+    def _eval_component(self, pid: ProcId, d: DestId) -> List[Action]:
+        """RTself/RTfix at the single component ``(pid, d)``."""
+        if pid == d:
+            if self.dist[d][pid] != 0 or self.hop[d][pid] != pid:
+                return [self._make_self_action(pid, d)]
+            return []
+        new_dist, new_hop = self._target(pid, d)
+        if self.dist[d][pid] != new_dist or self.hop[d][pid] != new_hop:
+            return [self._make_fix_action(pid, d, new_dist, new_hop)]
+        return []
+
+    def _scan_actions(self, pid: ProcId, count: bool) -> List[Action]:
+        """Classic scan over all ``n`` destination components."""
+        n = self._net.n
+        if count:
+            self.component_evals += n
         actions: List[Action] = []
-        for d in self._net.processors():
-            if pid == d:
-                if self.dist[d][pid] != 0 or self.hop[d][pid] != pid:
-                    actions.append(self._make_self_action(pid, d))
-            else:
-                new_dist, new_hop = self._target(pid, d)
-                if self.dist[d][pid] != new_dist or self.hop[d][pid] != new_hop:
-                    actions.append(self._make_fix_action(pid, d, new_dist, new_hop))
+        for d in range(n):
+            actions.extend(self._eval_component(pid, d))
         return actions
+
+    def enabled_actions(self, pid: ProcId) -> List[Action]:
+        if self._all_dirty:
+            return self._scan_actions(pid, count=True)
+        cache = self._components
+        if not cache.valid[pid]:
+            entries = cache.entries[pid]
+            entries.clear()
+            n = self._net.n
+            self.component_evals += n
+            for d in range(n):
+                acts = self._eval_component(pid, d)
+                if acts:
+                    entries[d] = acts
+            cache.dirty[pid].clear()
+            cache.valid[pid] = True
+        elif cache.dirty[pid]:
+            entries = cache.entries[pid]
+            dirty = cache.dirty[pid]
+            self.component_evals += len(dirty)
+            for d in dirty:
+                acts = self._eval_component(pid, d)
+                if acts:
+                    entries[d] = acts
+                else:
+                    entries.pop(d, None)
+            dirty.clear()
+        cache.dirty_pids.discard(pid)
+        return cache.assemble(pid)
+
+    def enabled_actions_fresh(self, pid: ProcId) -> List[Action]:
+        """The ``debug_check`` oracle: always a full fresh scan, no caches,
+        no counting."""
+        return self._scan_actions(pid, count=False)
 
     def _make_self_action(self, pid: ProcId, d: DestId) -> Action:
         def effect() -> None:
@@ -179,7 +242,7 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         hop_changed = self.hop[d][p] != new_hop
         self.dist[d][p] = new_dist
         self.hop[d][p] = new_hop
-        self._mark_dirty(p)
+        self._mark_dirty(p, d)
         if hop_changed:
             self._notify_entry(p, d)
 

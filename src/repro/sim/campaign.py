@@ -5,12 +5,17 @@ collects row dictionaries — the raw material of every table the benchmarks
 print.  Failures are captured per-row (a diverging configuration must not
 take down the whole sweep) unless ``fail_fast`` is set.
 
-``run_sweep(..., workers=N)`` fans the configurations out over a process
-pool: each configuration (with all its repeats) runs in a worker, rows come
-back in configuration order, and the per-repeat seed offsets are identical
-to a serial sweep — so a parallel sweep returns the same rows as a serial
-one, modulo wall-clock ``elapsed_s``.  The runner must be picklable (a
-module-level function, not a lambda or closure).
+``run_sweep(..., workers=N)`` fans work out over a process pool.  The unit
+of distribution adapts to the shape of the sweep: normally each
+configuration (with all its repeats) runs in one worker, but when the pool
+is wider than the configuration list and ``repeat`` > 1, individual
+*repetitions* are submitted instead — a single config with ``repeat=20``
+saturates 20 workers rather than one.  Either way rows come back in
+configuration order, per-repeat seed offsets are identical to a serial
+sweep, and repeats reduce through the same aggregation — so a parallel
+sweep returns the same rows as a serial one, modulo wall-clock
+``elapsed_s``.  The runner must be picklable (a module-level function, not
+a lambda or closure).
 """
 
 from __future__ import annotations
@@ -40,24 +45,51 @@ def run_sweep(
     the paper's bounds — with ``elapsed_s`` summed across the repetitions
     and configuration-echo keys left untouched).
 
-    ``workers`` > 1 distributes configurations over that many worker
-    processes; row order and values are identical to the serial sweep
+    ``workers`` > 1 distributes work over that many worker processes —
+    whole configurations normally, individual repetitions when the pool is
+    wider than the configuration list (``workers > len(configs)`` with
+    ``repeat`` > 1); row order and values are identical to the serial sweep
     (``elapsed_s`` aside).  With ``fail_fast`` the first failing
-    configuration's exception is re-raised in the parent.
+    repetition's exception (in configuration-then-repetition order) is
+    re-raised in the parent.
 
     ``jsonl_path``, when set, additionally writes the returned rows as a
     schema-versioned JSONL artifact (kind ``sweep_row``) readable by
     ``python -m repro obs``.
     """
     config_list = [dict(c) for c in configs]
-    if workers is None or workers <= 1 or len(config_list) <= 1:
+    use_pool = (
+        workers is not None
+        and workers > 1
+        and (len(config_list) > 1 or repeat > 1)
+    )
+    if not use_pool:
         rows = [
             _run_config(config, runner, fail_fast, repeat, aggregate)
             for config in config_list
         ]
-    else:
+    elif repeat > 1 and workers > len(config_list):
+        # Repeat-level fan-out: submit every (config, repetition) pair so a
+        # few configs with many repeats still saturate the pool.  Seeds are
+        # offset per repetition exactly as in the serial loop, repetitions
+        # are reduced in the parent with the same aggregation, and results
+        # are collected in (config, rep) order so fail_fast re-raises the
+        # same first exception a serial sweep would hit.
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
+                [
+                    pool.submit(_run_rep, config, runner, fail_fast, repeat, r)
+                    for r in range(repeat)
+                ]
+                for config in config_list
+            ]
+            rows = [
+                _reduce_reps([f.result() for f in futs], config, aggregate)
+                for config, futs in zip(config_list, futures)
+            ]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures_flat = [
                 pool.submit(_run_config, config, runner, fail_fast, repeat, aggregate)
                 for config in config_list
             ]
@@ -65,7 +97,7 @@ def run_sweep(
             # of which worker finishes first.  result() re-raises worker
             # exceptions (only possible with fail_fast; captured errors come
             # back as rows).
-            rows = [f.result() for f in futures]
+            rows = [f.result() for f in futures_flat]
     if jsonl_path is not None:
         from repro.obs.export import write_jsonl
 
@@ -78,6 +110,46 @@ def run_sweep(
     return rows
 
 
+def _run_rep(
+    config: Dict[str, object],
+    runner: Callable[..., Row],
+    fail_fast: bool,
+    repeat: int,
+    r: int,
+) -> Row:
+    """One repetition of one configuration: seed offset by the repetition
+    index, per-row error capture, elapsed stamp and config echo.
+    Module-level (not a closure) so worker processes can unpickle it."""
+    cfg = dict(config)
+    if repeat > 1 and "seed" in cfg:
+        cfg["seed"] = int(cfg["seed"]) + r  # type: ignore[arg-type]
+    started = time.perf_counter()
+    try:
+        row = runner(**cfg)
+    except Exception as exc:  # noqa: BLE001 - captured per-row
+        if fail_fast:
+            raise
+        row = {"error": f"{type(exc).__name__}: {exc}"}
+    row.setdefault("elapsed_s", round(time.perf_counter() - started, 3))
+    for key, value in config.items():
+        row.setdefault(key, value)
+    return row
+
+
+def _reduce_reps(
+    reps: List[Row],
+    config: Dict[str, object],
+    aggregate: Optional[Callable[[List[Row]], Row]],
+) -> Row:
+    """Reduce a configuration's repetition rows to one row (shared by the
+    serial loop, the per-config workers and the repeat-level fan-out)."""
+    if len(reps) == 1:
+        return reps[0]
+    if aggregate is not None:
+        return aggregate(reps)
+    return _max_aggregate(reps, frozenset(config))
+
+
 def _run_config(
     config: Dict[str, object],
     runner: Callable[..., Row],
@@ -87,27 +159,8 @@ def _run_config(
 ) -> Row:
     """All repeats of one configuration, reduced to one row.  Module-level
     (not a closure) so worker processes can unpickle it."""
-    reps: List[Row] = []
-    for r in range(repeat):
-        cfg = dict(config)
-        if repeat > 1 and "seed" in cfg:
-            cfg["seed"] = int(cfg["seed"]) + r  # type: ignore[arg-type]
-        started = time.perf_counter()
-        try:
-            row = runner(**cfg)
-        except Exception as exc:  # noqa: BLE001 - captured per-row
-            if fail_fast:
-                raise
-            row = {"error": f"{type(exc).__name__}: {exc}"}
-        row.setdefault("elapsed_s", round(time.perf_counter() - started, 3))
-        for key, value in config.items():
-            row.setdefault(key, value)
-        reps.append(row)
-    if repeat == 1:
-        return reps[0]
-    if aggregate is not None:
-        return aggregate(reps)
-    return _max_aggregate(reps, frozenset(config))
+    reps = [_run_rep(config, runner, fail_fast, repeat, r) for r in range(repeat)]
+    return _reduce_reps(reps, config, aggregate)
 
 
 def _max_aggregate(reps: List[Row], config_keys: FrozenSet[str] = frozenset()) -> Row:

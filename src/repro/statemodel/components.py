@@ -1,0 +1,89 @@
+"""Shared bookkeeping for (processor, destination) component caches.
+
+SSMFP is ``n`` mutually independent per-destination algorithms running
+simultaneously (the paper makes the decomposition explicit), and the
+routing protocol ``A`` has the same shape: every guard at processor ``p``
+for destination ``d`` reads only component ``d`` in the closed neighborhood
+of ``p``.  A write therefore dirties a handful of ``(p, d)`` *components*,
+not whole processors — and a protocol that caches its rule-produced
+:class:`~repro.statemodel.action.Action` lists per component only has to
+re-evaluate the dirty ones.
+
+:class:`ComponentDirtyCache` is the data structure both component-tracking
+protocols share: per-processor dirty destination sets, a set of processors
+with any dirty component (what :meth:`Protocol.dirty_after` reports to the
+simulator), per-processor validity flags (``False`` after a wholesale
+invalidation), and a per-processor index of *non-empty* component entries
+so a processor's enabled list is assembled in O(occupied components), never
+O(n).  The evaluation itself stays in the owning protocol — the cache only
+does bookkeeping.
+
+Snapshot discipline makes the cached actions safe to reuse: an action binds
+every value it will write at guard-evaluation time, so as long as no read
+of the component's guards changed (exactly what "not dirty" means), the
+cached action list is bit-identical to a fresh evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.statemodel.action import Action
+from repro.types import DestId, ProcId
+
+
+class ComponentDirtyCache:
+    """Per-(processor, destination) dirty sets and enabled-action entries."""
+
+    __slots__ = ("n", "valid", "dirty", "dirty_pids", "entries")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        #: ``valid[p]`` — False until ``p``'s entries have been (re)built.
+        self.valid: List[bool] = [False] * n
+        #: ``dirty[p]`` — destinations whose component at ``p`` must be
+        #: re-evaluated before ``p``'s enabled list is served again.
+        self.dirty: List[Set[DestId]] = [set() for _ in range(n)]
+        #: Processors with any dirty component (the simulator-facing set).
+        self.dirty_pids: Set[ProcId] = set()
+        #: ``entries[p]`` — component -> non-empty enabled-action list.
+        self.entries: List[Dict[DestId, List[Action]]] = [{} for _ in range(n)]
+
+    def mark(self, pid: ProcId, d: DestId) -> None:
+        """Dirty the single component ``(pid, d)``."""
+        self.dirty[pid].add(d)
+        self.dirty_pids.add(pid)
+
+    def mark_many(self, pids: Iterable[ProcId], d: DestId) -> None:
+        """Dirty component ``d`` at every processor in ``pids`` (typically a
+        writer's closed neighborhood)."""
+        dirty = self.dirty
+        for p in pids:
+            dirty[p].add(d)
+        self.dirty_pids.update(pids)
+
+    def invalidate_all(self) -> None:
+        """Drop every entry and every recorded dirty bit — used when the
+        owning protocol leaves its all-dirty regime and must rebuild from
+        the (possibly externally rewritten) configuration."""
+        self.valid = [False] * self.n
+        for s in self.dirty:
+            s.clear()
+        self.dirty_pids.clear()
+        for e in self.entries:
+            e.clear()
+
+    def assemble(self, pid: ProcId) -> List[Action]:
+        """``pid``'s enabled list from its non-empty component entries, in
+        ascending destination order (the order a classic left-to-right scan
+        produces — daemons observe it, so it is part of the contract)."""
+        entries = self.entries[pid]
+        if not entries:
+            return []
+        if len(entries) == 1:
+            (acts,) = entries.values()
+            return list(acts)
+        out: List[Action] = []
+        for d in sorted(entries):
+            out.extend(entries[d])
+        return out

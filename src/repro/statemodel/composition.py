@@ -28,6 +28,16 @@ class PriorityStack:
         if not protocols:
             raise ValueError("PriorityStack needs at least one protocol")
         self._protocols: List[Protocol] = list(protocols)
+        #: (protocol, tracks_components) pairs, resolved once — the hot loop
+        #: must not re-read the flag per call.
+        self._layers: List[tuple] = [
+            (p, bool(getattr(p, "tracks_components", False)))
+            for p in self._protocols
+        ]
+        #: Component-evaluations charged to protocols that do *not* track
+        #: components themselves: one per ``enabled_actions`` call (their
+        #: whole per-processor evaluation counts as one unit of work).
+        self._fallback_evals = 0
 
     @property
     def protocols(self) -> List[Protocol]:
@@ -42,11 +52,35 @@ class PriorityStack:
 
     def enabled_actions(self, pid: ProcId) -> List[Action]:
         """Actions of the highest-priority protocol enabled at ``pid``."""
-        for proto in self._protocols:
+        for proto, tracked in self._layers:
+            if not tracked:
+                self._fallback_evals += 1
             actions = proto.enabled_actions(pid)
             if actions:
                 return actions
         return []
+
+    def enabled_actions_fresh(self, pid: ProcId) -> List[Action]:
+        """Like :meth:`enabled_actions` but forcing every layer to
+        re-evaluate from the current configuration, bypassing component
+        caches and without charging :attr:`component_evals` — the
+        ``debug_check`` oracle."""
+        for proto in self._protocols:
+            actions = proto.enabled_actions_fresh(pid)
+            if actions:
+                return actions
+        return []
+
+    @property
+    def component_evals(self) -> int:
+        """Cumulative component evaluations across the whole stack: the sum
+        of the tracking protocols' own counters plus one per
+        ``enabled_actions`` call into each non-tracking layer.  This is the
+        number behind ``Simulator.guard_evals``."""
+        total = self._fallback_evals
+        for proto in self._protocols:
+            total += proto.component_evals
+        return total
 
     def dirty_after(self, selection: Dict[ProcId, Action]) -> Optional[Set[ProcId]]:
         """Union of the layers' dirty sets; ``None`` (full re-scan) as soon

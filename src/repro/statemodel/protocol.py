@@ -28,6 +28,21 @@ class Protocol(ABC):
     #: Human-readable protocol name; also used by priority composition.
     name: str = "protocol"
 
+    #: True for protocols that evaluate guards per (processor, destination)
+    #: *component* and account that work in :attr:`component_evals`.
+    #: Protocols that don't are charged one component-evaluation per
+    #: ``enabled_actions`` call by the composition layer, so the engine-wide
+    #: ``guard_evals`` metric stays meaningful for any mix of protocols.
+    tracks_components: bool = False
+
+    #: Cumulative number of component evaluations performed by this protocol
+    #: (only maintained when :attr:`tracks_components` is set).  A component
+    #: evaluation is one examination of a single ``(p, d)`` component —
+    #: whether it short-circuits on an emptiness fast path or runs the full
+    #: rule list — counted identically in the classic full scan and in the
+    #: incremental reconcile, so ratios between engines compare like work.
+    component_evals: int = 0
+
     @abstractmethod
     def enabled_actions(self, pid: ProcId) -> List[Action]:
         """All actions of this protocol currently enabled at ``pid``.
@@ -35,6 +50,18 @@ class Protocol(ABC):
         Must be side-effect free and must bind every value the returned
         actions will write (snapshot discipline).
         """
+
+    def enabled_actions_fresh(self, pid: ProcId) -> List[Action]:
+        """Like :meth:`enabled_actions` but guaranteed to re-evaluate every
+        guard from the current configuration, bypassing any caching the
+        protocol maintains, without touching :attr:`component_evals`.
+
+        This is the oracle the simulator's ``debug_check`` cross-check uses
+        to validate cached enabled maps (and the component caches behind
+        them) against a genuinely fresh scan.  Default: the protocol caches
+        nothing, so :meth:`enabled_actions` is already fresh.
+        """
+        return self.enabled_actions(pid)
 
     def before_step(self, step: int) -> None:
         """Hook invoked by the simulator at the very beginning of each step,
@@ -61,6 +88,13 @@ class Protocol(ABC):
 
         Returning ``None`` means "anything may have changed" and forces a
         full re-scan — the safe default for protocols that do not opt in.
+
+        Component-tracking protocols (:attr:`tracks_components`) implement
+        this as the *projection onto processors* of their per-``(p, d)``
+        component dirty sets: the simulator re-evaluates exactly the
+        reported processors, and inside ``enabled_actions`` the protocol
+        reconciles only the dirty components, serving everything else from
+        its component cache (see :mod:`repro.statemodel.components`).
         """
         return None
 

@@ -132,11 +132,20 @@ class Simulator:
         self._debug_check = debug_check
         #: Per-processor enabled-actions cache (incremental engine only).
         self._cache: Optional[List[List[Action]]] = None
+        #: Persistent enabled map (ascending pid order), updated in place
+        #: for re-evaluated processors only — never rebuilt from an O(n)
+        #: scan of the cache.
+        self._enabled: Optional[EnabledMap] = None
         self._last_selection: Dict[ProcId, Action] = {}
-        #: Number of per-processor guard evaluations performed so far (one
-        #: count per ``enabled_actions`` call on the stack) — the metric the
-        #: engine benchmarks compare across engines.
+        #: Number of *component evaluations* performed so far — one count
+        #: per (processor, destination) component examined by a tracking
+        #: protocol, one per ``enabled_actions`` call into a non-tracking
+        #: one (see :attr:`Protocol.tracks_components`).  The same unit in
+        #: the incremental and full-scan engines, so the benchmarks' ratios
+        #: compare like work.  Mirrors the stack's cumulative counter,
+        #: rebased to this simulator's construction.
         self.guard_evals = 0
+        self._guard_base = self._stack.component_evals
         self._obs = obs
         if obs is not None:
             #: Bound instruments, resolved once (hot loops must not re-key).
@@ -195,40 +204,56 @@ class Simulator:
         dirty = self._stack.dirty_after(self._last_selection)
         self._last_selection = {}
         cache = self._cache
+        stack = self._stack
         if cache is None or dirty is None:
-            self.guard_evals += self._n
-            stack = self._stack
             self._cache = cache = [stack.enabled_actions(pid) for pid in range(self._n)]
+            self._enabled = {
+                pid: actions for pid, actions in enumerate(cache) if actions
+            }
         elif dirty:
-            stack = self._stack
+            enabled = self._enabled
             n = self._n
+            inserted = False
             for pid in dirty:
                 if 0 <= pid < n:
-                    self.guard_evals += 1
-                    cache[pid] = stack.enabled_actions(pid)
-        enabled: EnabledMap = {
-            pid: actions for pid, actions in enumerate(cache) if actions
-        }
+                    actions = stack.enabled_actions(pid)
+                    cache[pid] = actions
+                    if actions:
+                        # Replacing an existing key keeps its position, so
+                        # the map stays ascending; only a *new* pid forces
+                        # the O(enabled · log) re-sort below.
+                        if pid not in enabled:
+                            inserted = True
+                        enabled[pid] = actions
+                    else:
+                        enabled.pop(pid, None)
+            if inserted:
+                self._enabled = {pid: enabled[pid] for pid in sorted(enabled)}
+        self.guard_evals = stack.component_evals - self._guard_base
         if self._debug_check:
-            self._cross_check(enabled)
-        return enabled
+            self._cross_check(self._enabled)
+        return self._enabled
 
     def _full_scan_map(self) -> EnabledMap:
         enabled: EnabledMap = {}
         stack = self._stack
-        self.guard_evals += self._n
         for pid in range(self._n):
             actions = stack.enabled_actions(pid)
             if actions:
                 enabled[pid] = actions
+        self.guard_evals = stack.component_evals - self._guard_base
         return enabled
 
     def _cross_check(self, enabled: EnabledMap) -> None:
-        """Debug mode: recompute everything and compare with the cache."""
+        """Debug mode: recompute everything with fresh, cache-bypassing
+        scans (:meth:`PriorityStack.enabled_actions_fresh`, which also
+        bypasses the protocols' component caches) and compare — so both the
+        simulator's per-processor cache *and* the component caches feeding
+        it are validated against the current configuration."""
         fresh: EnabledMap = {}
         stack = self._stack
         for pid in range(self._n):
-            actions = stack.enabled_actions(pid)
+            actions = stack.enabled_actions_fresh(pid)
             if actions:
                 fresh[pid] = actions
 

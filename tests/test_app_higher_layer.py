@@ -80,3 +80,39 @@ class TestDelivery:
         hl.deliver(1, msg, step=7)
         assert seen == [(1, "x", 7)]
         assert hl.delivered[0][0] == 1
+
+
+class TestRequestedDestinationsIndex:
+    def test_tracks_raise_and_consume(self):
+        hl = HigherLayer(4)
+        assert hl.requested_destinations() == set()
+        hl.submit(0, "a", 3)
+        hl.submit(1, "b", 2)
+        hl.before_step(0)
+        assert hl.requested_destinations() == {3, 2}
+        hl.consume_request(0)
+        assert hl.requested_destinations() == {2}
+        hl.consume_request(1)
+        assert hl.requested_destinations() == set()
+
+    def test_shared_destination_by_two_processors(self):
+        hl = HigherLayer(4)
+        hl.submit(0, "a", 3)
+        hl.submit(1, "b", 3)
+        hl.before_step(0)
+        assert hl.requested_destinations() == {3}
+        hl.consume_request(0)
+        assert hl.requested_destinations() == {3}  # processor 1 still asks
+        hl.consume_request(1)
+        assert hl.requested_destinations() == set()
+
+    def test_out_of_band_lowering_is_filtered(self):
+        # A subclass may lower request_p without consume_request (the
+        # liveness harness does); the index must not report its destination.
+        hl = HigherLayer(3)
+        hl.submit(0, "a", 2)
+        hl.before_step(0)
+        hl.request[0] = False
+        assert hl.requested_destinations() == set()
+        hl.before_step(1)  # re-raised: same head, index refreshed
+        assert hl.requested_destinations() == {2}

@@ -61,3 +61,43 @@ class TestIteration:
         bufs.set_e(1, 2, msg.forwarded_copy(0))
         assert set(bufs.copies_of(msg.uid)) == {(1, 0, "R"), (1, 2, "E")}
         assert bufs.copies_of(999) == []
+
+
+class TestOccupiedComponentsIndex:
+    def test_starts_empty(self):
+        bufs = ForwardingBuffers(4)
+        assert bufs.occupied_components() == set()
+
+    def test_writes_add_and_clears_remove(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(4)
+        bufs.set_r(2, 1, make_msg(f, dest=2))
+        assert bufs.occupied_components() == {2}
+        bufs.set_e(2, 3, make_msg(f, dest=2))
+        bufs.set_r(2, 1, None)
+        assert bufs.occupied_components() == {2}  # one copy still stored
+        bufs.set_e(2, 3, None)
+        assert bufs.occupied_components() == set()
+
+    def test_overwrite_keeps_membership(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        bufs.set_e(1, 2, make_msg(f))
+        bufs.set_e(1, 2, make_msg(f))
+        assert bufs.occupied_components() == {1}
+
+    def test_move_r_to_e_keeps_membership(self):
+        bufs = ForwardingBuffers(3)
+        msg = make_msg()
+        bufs.set_r(1, 0, msg)
+        bufs.move_r_to_e(1, 0, msg.recolored(0, 1))
+        assert bufs.occupied_components() == {1}
+
+    def test_index_matches_counts(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(5)
+        bufs.set_r(0, 1, make_msg(f, dest=0))
+        bufs.set_e(3, 2, make_msg(f, dest=3))
+        bufs.set_r(3, 4, make_msg(f, dest=3))
+        want = {d for d in range(5) if bufs.occupied_in_component(d)}
+        assert bufs.occupied_components() == want

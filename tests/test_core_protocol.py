@@ -137,3 +137,33 @@ class TestSnapshotAndCandidates:
         proto.bufs.set_e(4, 1, msg)  # nextHop_1(4) == 2
         assert proto.candidates(2, 4) == {1}
         assert proto.candidates(0, 4) == set()
+
+
+class TestActiveDestinationIndex:
+    def test_destination_deactivates_after_drain(self, line5):
+        proto = make_ssmfp(line5)
+        proto.hl.submit(0, "m", 4)
+        drive(proto)  # run to terminal: delivered and drained
+        assert proto.network_is_empty()
+        assert proto.active_destinations() == set()
+
+    def test_index_matches_slow_scan_during_run(self, line5):
+        proto = make_ssmfp(line5)
+        proto.hl.submit(0, "a", 4)
+        proto.hl.submit(3, "b", 1)
+        sim = Simulator(proto.net.n, PriorityStack([proto]), SynchronousDaemon())
+        for _ in range(40):
+            report = sim.step()
+            slow = {
+                d
+                for d in proto.net.processors()
+                if proto.bufs.occupied_in_component(d) > 0
+            }
+            for p in proto.net.processors():
+                if proto.hl.request[p]:
+                    nd = proto.hl.next_destination(p)
+                    if nd is not None:
+                        slow.add(nd)
+            assert proto.active_destinations() == slow
+            if report.terminal:
+                break

@@ -42,6 +42,15 @@ MAX_STEPS = 4_000
 DAEMONS = ("sync", "central", "distributed", "locally_central", "round_robin")
 POLICIES = ("fifo", "lifo", "fixed", "aged", "aged_fair")
 
+#: Every ablation knob the protocol exposes (docs/engine.md requires the
+#: component-granular engine to be exact under all of them).
+ABLATION_KNOBS = (
+    {"enable_colors": False},
+    {"enable_r5": False},
+    {"r5_literal": True},
+    {"enable_colors": False, "enable_r5": False},
+)
+
 
 def _make_net(rng: random.Random):
     kind = rng.choice(("ring", "grid", "random", "tree"))
@@ -72,18 +81,30 @@ def _make_daemon(name: str, net, seed: int):
 
 
 def _make_scenario(seed: int, daemon_name: str, policy: str, *, full_scan: bool,
-                   debug_check: bool = False) -> Simulation:
+                   debug_check: bool = False, options=None,
+                   adversarial: bool = False) -> Simulation:
     rng = random.Random(seed)
     net = _make_net(rng)
     n = net.n
-    corruption = rng.choice(
-        (
-            None,
-            {"kind": "random", "fraction": rng.choice((0.3, 1.0)), "seed": seed + 1},
-            {"kind": "worst", "seed": seed + 2},
+    if adversarial:
+        # Force the full adversarial initial state instead of sampling it:
+        # corrupted routing, planted garbage and scrambled queues together.
+        corruption = {"kind": "random", "fraction": 1.0, "seed": seed + 1}
+        garbage = {"seed": seed + 3, "fraction": 0.6}
+        scramble = True
+    else:
+        corruption = rng.choice(
+            (
+                None,
+                {"kind": "random", "fraction": rng.choice((0.3, 1.0)), "seed": seed + 1},
+                {"kind": "worst", "seed": seed + 2},
+            )
         )
-    )
-    garbage = rng.choice((None, {"seed": seed + 3, "fraction": rng.choice((0.2, 0.6))}))
+        garbage = rng.choice((None, {"seed": seed + 3, "fraction": rng.choice((0.2, 0.6))}))
+        scramble = rng.random() < 0.5
+    ssmfp_options = {"choice_policy": policy}
+    if options:
+        ssmfp_options.update(options)
     sim = build_simulation(
         net,
         workload=uniform_workload(
@@ -96,8 +117,8 @@ def _make_scenario(seed: int, daemon_name: str, policy: str, *, full_scan: bool,
         seed=seed + 6,
         routing_corruption=corruption,
         garbage=garbage,
-        scramble_choice_queues=rng.random() < 0.5,
-        ssmfp_options={"choice_policy": policy},
+        scramble_choice_queues=scramble,
+        ssmfp_options=ssmfp_options,
         full_scan=full_scan,
         debug_check=debug_check,
     )
@@ -131,15 +152,21 @@ def _end_state(sim: Simulation):
     }
 
 
-def _run_side_by_side(seed: int, daemon_name: str, policy: str = "fifo") -> None:
-    inc = _make_scenario(seed, daemon_name, policy, full_scan=False)
-    full = _make_scenario(seed, daemon_name, policy, full_scan=True)
-    for _ in range(MAX_STEPS):
+def _run_side_by_side(seed: int, daemon_name: str, policy: str = "fifo", *,
+                      options=None, adversarial: bool = False,
+                      debug_check: bool = False,
+                      max_steps: int = MAX_STEPS) -> None:
+    inc = _make_scenario(seed, daemon_name, policy, full_scan=False,
+                         options=options, adversarial=adversarial,
+                         debug_check=debug_check)
+    full = _make_scenario(seed, daemon_name, policy, full_scan=True,
+                          options=options, adversarial=adversarial)
+    for _ in range(max_steps):
         ra = inc.step()
         rb = full.step()
         assert _signature(ra) == _signature(rb), (
             f"step trace diverged at step {ra.step} (seed={seed}, "
-            f"daemon={daemon_name}, policy={policy})"
+            f"daemon={daemon_name}, policy={policy}, options={options})"
         )
         if delivered_and_drained(inc) and ra.terminal:
             break
@@ -162,6 +189,26 @@ class TestEngineEquivalence:
         # 5 policies x 3 seeds = 15 more scenarios (aged_fair exercises the
         # per-step reconciliation path).
         _run_side_by_side(seed * 777 + 13, "distributed", policy)
+
+    @pytest.mark.parametrize("knobs", ABLATION_KNOBS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ablation_knobs_match_full_scan(self, knobs, seed):
+        # 4 knob combinations x 3 seeds = 12 scenarios: the component caches
+        # must be exact with colors off, R5 off and the literal R5 — each
+        # changes which guards exist, none changes what a guard reads.
+        _run_side_by_side(seed * 991 + 57, "distributed", options=knobs)
+
+    @pytest.mark.parametrize("policy", ("lifo", "fixed", "aged_fair"))
+    @pytest.mark.parametrize("knobs", ABLATION_KNOBS)
+    def test_adversarial_ablations_debug_checked(self, policy, knobs):
+        # Forced worst-case initial state — fully corrupted routing, planted
+        # garbage AND scrambled queues at once — across ablation knobs and
+        # the non-default policies, with the per-step cache-vs-fresh-scan
+        # cross-check enabled on the incremental side.  Bounded steps: lifo
+        # and fixed may legitimately never terminate (that is their point).
+        seed = 4242 + 17 * ("lifo", "fixed", "aged_fair").index(policy)
+        _run_side_by_side(seed, "distributed", policy, options=knobs,
+                          adversarial=True, debug_check=True, max_steps=900)
 
     @pytest.mark.parametrize("seed", range(6))
     def test_debug_check_mode_is_silent(self, seed):

@@ -330,3 +330,51 @@ class TestTableSink:
             assert reporting.set_table_sink(None) is first
         finally:
             reporting.set_table_sink(None)
+
+
+class TestRepeatFanOut:
+    """workers > len(configs): individual repetitions fan out over the pool
+    and must reduce to exactly the serial rows (modulo elapsed_s)."""
+
+    def test_single_config_repeats_match_serial(self):
+        configs = [{"seed": 5, "n": 5}]
+        serial = run_sweep(configs, runner=_sweep_runner, repeat=4)
+        parallel = run_sweep(configs, runner=_sweep_runner, repeat=4, workers=4)
+
+        def strip(rows):
+            return [{k: v for k, v in r.items() if k != "elapsed_s"} for r in rows]
+
+        assert strip(parallel) == strip(serial)
+
+    def test_few_configs_many_repeats_match_serial(self):
+        configs = [{"seed": 3, "n": 4}, {"seed": 11, "n": 5}]
+        serial = run_sweep(configs, runner=_sweep_runner, repeat=3)
+        parallel = run_sweep(configs, runner=_sweep_runner, repeat=3, workers=6)
+
+        def strip(rows):
+            return [{k: v for k, v in r.items() if k != "elapsed_s"} for r in rows]
+
+        assert strip(parallel) == strip(serial)
+
+    def test_fan_out_captures_errors_per_rep(self):
+        rows = run_sweep(
+            [{"seed": 2}], runner=_flaky_runner, repeat=3,
+            fail_fast=False, workers=8,
+        )
+        # seeds 2, 3, 4: the even ones fail, the odd one survives.
+        assert rows[0]["repeats"] == 3
+        assert rows[0]["errors"] == 2
+        assert rows[0]["ok"] == 3
+
+    def test_fan_out_fail_fast_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_sweep([{"seed": 2}], runner=_flaky_runner, repeat=3, workers=8)
+
+    def test_fan_out_aggregate_runs_in_parent(self):
+        # The reduction happens in the parent for repeat-level fan-out, so
+        # even a non-picklable aggregate callable works there.
+        rows = run_sweep(
+            [{"seed": 1, "n": 4}], runner=_sweep_runner, repeat=2, workers=4,
+            aggregate=lambda reps: {"count": len(reps)},
+        )
+        assert rows == [{"count": 2}]

@@ -253,3 +253,70 @@ class TestStrictHooks:
         sim = Simulator(1, CountUp(1, limit=1), SynchronousDaemon(), strict_hooks=[boom])
         with pytest.raises(RuntimeError, match="invariant"):
             sim.step()
+
+
+class GrowsDownward(Protocol):
+    """pid 2 always enabled; executing it once also enables pid 0.  Tracks
+    its own dirt so the simulator's persistent enabled map is exercised:
+    the pid-0 insertion must land *before* pid 2 in iteration order."""
+
+    name = "grow"
+
+    def __init__(self):
+        self._scanned = False
+        self._pending = set()
+        self.low_enabled = False
+
+    def _noop_action(self, pid, rule):
+        return Action(pid=pid, rule=rule, protocol=self.name, effect=lambda: None)
+
+    def enabled_actions(self, pid):
+        acts = []
+        if pid == 0 and self.low_enabled:
+            acts.append(self._noop_action(0, "lo"))
+        if pid == 2:
+            def eff():
+                if not self.low_enabled:
+                    self.low_enabled = True
+                    self._pending.add(0)
+                self._pending.add(2)
+            acts.append(Action(pid=2, rule="hi", protocol=self.name, effect=eff))
+        return acts
+
+    def dirty_after(self, selection):
+        if not self._scanned:
+            self._scanned = True
+            return None
+        pending, self._pending = self._pending, set()
+        return pending
+
+
+class TestPersistentEnabledMap:
+    def _sim(self):
+        return Simulator(3, GrowsDownward(), RoundRobinDaemon())
+
+    def test_insertion_keeps_ascending_pid_order(self):
+        sim = self._sim()
+        first = sim.enabled_map()
+        assert list(first) == [2]
+        sim.step()  # round-robin serves pid 2 -> enables pid 0
+        second = sim.enabled_map()
+        assert list(second) == [0, 2]
+
+    def test_map_object_reused_when_nothing_dirty(self):
+        sim = self._sim()
+        m1 = sim.enabled_map()
+        evals = sim.guard_evals
+        m2 = sim.enabled_map()
+        # No dirt between evaluations: the same dict comes back and no
+        # guard was re-evaluated.
+        assert m2 is m1
+        assert sim.guard_evals == evals
+
+    def test_guard_evals_counts_fallback_units_for_untracked_protocols(self):
+        # A protocol without tracks_components is charged one component
+        # evaluation per enabled_actions call — the initial full scan of
+        # n=3 processors costs exactly 3.
+        sim = self._sim()
+        sim.enabled_map()
+        assert sim.guard_evals == 3
