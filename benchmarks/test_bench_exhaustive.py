@@ -1,17 +1,94 @@
-"""Benchmark X5 — exhaustive model checking."""
+"""Benchmarks X5 and X-SNAP — exhaustive model checking.
+
+X5 regenerates the safety table (now including the ``line(4)`` instance
+that only the snapshot engine makes practical).  X-SNAP races the two
+exploration engines — legacy deepcopy vs snapshot/restore — on the small
+fixed instances, asserts their results are bit-identical (same state
+count, transition count, terminal states, violations), and pins a minimum
+states/sec speedup so a regression in the snapshot layer fails the build.
+"""
+
+import time
 
 from conftest import archive, bench_once
 
 from repro.experiments import exhaustive
+from repro.sim.reporting import format_table
+from repro.verify.modelcheck import ModelChecker
+
+# The snapshot engine must stay at least this much faster than deepcopy
+# (aggregate states/sec over the X-SNAP instances; measured ~5-7x).
+MIN_SNAPSHOT_SPEEDUP = 3.0
 
 
 def test_bench_exhaustive(benchmark):
-    report = bench_once(benchmark, exhaustive.main)
-    archive("X5", report)
-    rows = exhaustive.run_exhaustive()
+    rows = bench_once(benchmark, exhaustive.run_exhaustive)
+    report = exhaustive.render(rows)
+    archive("X5", report, rows=rows, meta={"table": "X5", "instances": len(rows)})
     safe = [r for r in rows if r["expected"] == "safe"]
     buggy = [r for r in rows if r["expected"] == "counterexample"]
     assert safe and all(r["violations"] == 0 for r in safe)
     assert buggy and all(r["violations"] > 0 for r in buggy)
     # Every instance has exactly one fully-drained terminal configuration.
     assert all(r["terminal"] == 1 for r in safe)
+    # The snapshot-engine scale point: line(4) is actually exhausted.
+    line4 = next(r for r in rows if "line(4)" in r["instance"])
+    assert line4["states"] > 10_000 and line4["violations"] == 0
+
+
+def _snap_rows():
+    """Race both engines on each small instance; the line(4) scale point
+    is excluded (deepcopy needs minutes there — the point of X-SNAP is a
+    tight regression gate, not a demonstration)."""
+    rows = []
+    for name, make, _expect in exhaustive._instances():
+        if "line(4)" in name:
+            continue
+        per = {}
+        for eng in ("deepcopy", "snapshot"):
+            t0 = time.perf_counter()
+            res = ModelChecker(
+                make, max_states=200_000, max_selection_width=20_000,
+                engine=eng,
+            ).run()
+            per[eng] = (res, time.perf_counter() - t0)
+        base, base_s = per["deepcopy"]
+        snap, snap_s = per["snapshot"]
+        # Bit-identical exploration is the contract, not a statistic.
+        assert (base.states, base.transitions, base.terminal_states,
+                base.truncated, base.violations) == \
+               (snap.states, snap.transitions, snap.terminal_states,
+                snap.truncated, snap.violations), name
+        rows.append({
+            "instance": name,
+            "states": snap.states,
+            "deepcopy_s": round(base_s, 3),
+            "snapshot_s": round(snap_s, 3),
+            "deepcopy_states_per_s": round(base.states / base_s),
+            "snapshot_states_per_s": round(snap.states / snap_s),
+            "speedup": round(base_s / snap_s, 1),
+        })
+    return rows
+
+
+def test_bench_snapshot_vs_deepcopy(benchmark):
+    rows = bench_once(benchmark, _snap_rows)
+    report = format_table(
+        rows,
+        columns=[
+            "instance", "states", "deepcopy_s", "snapshot_s",
+            "deepcopy_states_per_s", "snapshot_states_per_s", "speedup",
+        ],
+        title="X-SNAP - snapshot/restore exploration engine vs legacy "
+              "deepcopy (bit-identical results asserted per instance)",
+    )
+    archive(
+        "X-SNAP", report, rows=rows,
+        meta={"table": "X-SNAP", "min_speedup": MIN_SNAPSHOT_SPEEDUP},
+    )
+    total_deepcopy = sum(r["deepcopy_s"] for r in rows)
+    total_snapshot = sum(r["snapshot_s"] for r in rows)
+    assert total_deepcopy / total_snapshot >= MIN_SNAPSHOT_SPEEDUP, (
+        f"snapshot engine speedup regressed below {MIN_SNAPSHOT_SPEEDUP}x: "
+        f"{total_deepcopy:.3f}s deepcopy vs {total_snapshot:.3f}s snapshot"
+    )

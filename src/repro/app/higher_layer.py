@@ -23,6 +23,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.statemodel.message import Message
+from repro.statemodel.snapshot import StateVector
 from repro.types import DestId, ProcId
 
 #: A pending send: (payload, destination).
@@ -152,6 +153,53 @@ class HigherLayer:
         if self._on_request_change is not None:
             self._on_request_change(p, item[1])
         return item
+
+    def outboxes(self) -> Tuple[Tuple[Pending, ...], ...]:
+        """Immutable view of every outbox, head first — the public accessor
+        the verifier's canonicalization and :meth:`snapshot` read instead of
+        reaching into the private deques."""
+        return tuple(tuple(box) for box in self._outbox)
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """State vector: outboxes, ``request_p`` flags, the raised-request
+        index, the delivery log and the local-delivery count."""
+        return (
+            self.outboxes(),
+            tuple(self.request),
+            tuple(sorted(self._requested.items())),
+            tuple(self._delivered),
+            self._local_deliveries,
+        )
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot`.
+
+        Guards read only ``request_p`` and the outbox *head* (destination
+        and payload), so the change notifier fires per processor whose
+        handshake-visible state differs — for both the destination it
+        concerned before and the one it concerns now."""
+        outboxes, request, requested, delivered, local = vec
+        notify = self._on_request_change
+        for p in range(self._n):
+            box = self._outbox[p]
+            new_box = outboxes[p]
+            old = (self.request[p], box[0] if box else None)
+            new = (request[p], new_box[0] if new_box else None)
+            if tuple(box) != new_box:
+                self._outbox[p] = deque(new_box)
+            self.request[p] = request[p]
+            if notify is not None and old != new:
+                old_dest = old[1][1] if old[1] is not None else None
+                new_dest = new[1][1] if new[1] is not None else None
+                if old_dest is not None and old_dest != new_dest:
+                    notify(p, old_dest)
+                if new_dest is not None:
+                    notify(p, new_dest)
+        self._requested = dict(requested)
+        self._delivered = list(delivered)
+        self._local_deliveries = local
 
     def requested_destinations(self) -> Set[DestId]:
         """Destinations some processor currently has a raised request for —

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Optional, Set, Tuple
 
 from repro.statemodel.message import Message
+from repro.statemodel.snapshot import StateVector
 from repro.types import DestId, ProcId
 
 #: Write-notification callback: ``(dest, processor, kind)`` with kind in
@@ -101,6 +102,37 @@ class ForwardingBuffers:
         self.R[d][p] = None  # occupancy unchanged: one in, one out
         if self._notify is not None:
             self._notify(d, p, "E")
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """Sparse state vector: one ``(d, p, kind, message)`` entry per
+        occupied buffer, in :meth:`iter_messages` order.  Messages are
+        immutable and shared by reference."""
+        return tuple(self.iter_messages())
+
+    def restore(self, vec: StateVector) -> None:
+        """Diff-restore: write only the cells that differ, through
+        :meth:`set_r`/:meth:`set_e` so occupancy indexes stay exact and the
+        notifier sees every real change."""
+        target = {(d, p, kind): msg for d, p, kind, msg in vec}
+        stale = [
+            (d, p, kind)
+            for d, p, kind, _ in self.iter_messages()
+            if (d, p, kind) not in target
+        ]
+        for d, p, kind in stale:
+            if kind == "R":
+                self.set_r(d, p, None)
+            else:
+                self.set_e(d, p, None)
+        for (d, p, kind), msg in target.items():
+            row = self.R if kind == "R" else self.E
+            if row[d][p] is not msg:
+                if kind == "R":
+                    self.set_r(d, p, msg)
+                else:
+                    self.set_e(d, p, msg)
 
     # -- queries ------------------------------------------------------------
 

@@ -178,6 +178,26 @@ class FairChoiceQueue:
         exploration."""
         return (tuple(self._q), tuple(sorted(self._wait.items())))
 
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        """State vector of this queue — identical to :meth:`state`, so the
+        verifier's canonical form and its restore source are one value."""
+        return self.state()
+
+    def restore(self, vec: Tuple) -> None:
+        """Reinstate a previously captured :meth:`snapshot`.  A no-op when
+        the queue already matches; otherwise the content is replaced and an
+        out-of-sync ``"mutate"`` change is reported (the restored order need
+        not be reachable by a reconcile from the current candidates)."""
+        order, waits = vec
+        if tuple(self._q) == order and tuple(sorted(self._wait.items())) == waits:
+            return
+        self._q = list(order)
+        self._wait = dict(waits)
+        if self._notify is not None:
+            self._notify(self._key, "mutate")
+
     def __len__(self) -> int:
         return len(self._q)
 

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SpecificationViolation
 from repro.statemodel.message import Message
+from repro.statemodel.snapshot import StateVector
 from repro.types import DestId, ProcId
 
 #: Lifecycle observer: called as ``observer(kind, uid, info)`` with kind in
@@ -128,6 +129,29 @@ class DeliveryLedger:
         if self._strict:
             raise SpecificationViolation(text)
         self.violations.append(text)
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """State vector: generations (insertion order preserved), valid
+        deliveries, invalid deliveries, losses and non-strict violations.
+        Observers and the strictness flag are wiring, not state."""
+        return (
+            tuple(self._generated.items()),
+            tuple(self._valid_delivered.items()),
+            tuple(self._invalid_deliveries),
+            tuple(sorted(self._lost)),
+            tuple(self.violations),
+        )
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot`."""
+        generated, delivered, invalid, lost, violations = vec
+        self._generated = dict(generated)
+        self._valid_delivered = dict(delivered)
+        self._invalid_deliveries = list(invalid)
+        self._lost = set(lost)
+        self.violations = list(violations)
 
     # -- queries ------------------------------------------------------------
 

@@ -64,6 +64,7 @@ from repro.statemodel.action import Action
 from repro.statemodel.components import ComponentDirtyCache
 from repro.statemodel.message import MessageFactory
 from repro.statemodel.protocol import Protocol
+from repro.statemodel.snapshot import StateVector
 from repro.types import Color, DestId, ProcId
 
 
@@ -435,9 +436,62 @@ class SSMFP(Protocol):
         """True iff no buffer of any component holds a message."""
         return self.bufs.total_occupied() == 0
 
-    def snapshot(self) -> Dict[str, object]:
+    def dump(self) -> Dict[str, object]:
         """Compact dump of every occupied buffer, keyed ``bufK_p(d)``."""
         out: Dict[str, object] = {}
         for d, p, kind, msg in self.bufs.iter_messages():
             out[f"buf{kind}_{p}({d})"] = repr(msg)
         return out
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """State vector of the full SSMFP layer: buffers, nonempty choice
+        queues (sparse, ascending ``(d, p)``), the higher layer, the
+        ledger, the uid counters and the current step.  The routing
+        provider is *not* included — either it is immutable
+        (:class:`~repro.routing.static.StaticRouting`) or it participates
+        in the protocol stack and snapshots itself.  Engine caches
+        (component dirt, ``next_hop`` cache, resync sets) are derived
+        state: :meth:`restore` repairs them through the ordinary change
+        notifiers."""
+        n = self.net.n
+        queues = []
+        for d in range(n):
+            row = self.queues[d]
+            for p in range(n):
+                state = row[p].state()
+                if state != ((), ()):
+                    queues.append((d, p, state))
+        return (
+            self.bufs.snapshot(),
+            tuple(queues),
+            self.hl.snapshot(),
+            self.ledger.snapshot(),
+            self.factory.snapshot(),
+            self.current_step,
+        )
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot`.  Every real
+        change flows through the component mutators, so the incremental
+        engine's dirty sets end up covering exactly the components that
+        differ from the pre-restore configuration."""
+        bufs_vec, queues_vec, hl_vec, ledger_vec, factory_vec, step = vec
+        self.bufs.restore(bufs_vec)
+        target = {(d, p): state for d, p, state in queues_vec}
+        n = self.net.n
+        empty = ((), ())
+        for d in range(n):
+            row = self.queues[d]
+            for p in range(n):
+                queue = row[p]
+                state = target.get((d, p))
+                if state is not None:
+                    queue.restore(state)
+                elif len(queue) or queue.state() != empty:
+                    queue.restore(empty)
+        self.hl.restore(hl_vec)
+        self.ledger.restore(ledger_vec)
+        self.factory.restore(factory_vec)
+        self.current_step = step

@@ -36,6 +36,14 @@ class SpecificationViolation(ReproError):
     processor."""
 
 
+class SelectionOverflow(ReproError):
+    """Raised while enumerating daemon choices when the per-state fan-out
+    exceeds the verifier's safety valve.  :class:`~repro.verify.ModelChecker`
+    converts it into a ``truncated`` result (its ``run()`` never raises);
+    the liveness explorer propagates it, since a partially built reachable
+    graph cannot prove starvation-freedom."""
+
+
 class ScheduleError(ReproError):
     """Raised when a daemon produces an illegal selection (empty selection
     while processors are enabled, selecting a disabled processor, ...)."""

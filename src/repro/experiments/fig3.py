@@ -98,7 +98,7 @@ def run_fig3() -> Fig3Report:
             {
                 key.replace(str(a), "a").replace(str(b), "b")
                     .replace(str(c), "c").replace("3", "d"): value
-                for key, value in sorted(proto.snapshot().items())
+                for key, value in sorted(proto.dump().items())
             }
         )
         report.configurations.append(snap)

@@ -34,6 +34,7 @@ from repro.routing.table import RoutingService
 from repro.statemodel.action import Action
 from repro.statemodel.components import ComponentDirtyCache
 from repro.statemodel.protocol import Protocol
+from repro.statemodel.snapshot import StateVector
 from repro.types import DestId, ProcId
 
 
@@ -246,8 +247,31 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         if hop_changed:
             self._notify_entry(p, d)
 
-    def snapshot(self) -> Dict[str, object]:
+    def dump(self) -> Dict[str, object]:
         return {
             "dist": [list(row) for row in self.dist],
             "hop": [list(row) for row in self.hop],
         }
+
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """State vector: the ``dist``/``hop`` tables (the protocol's only
+        mutable state — the dirty bookkeeping is derived)."""
+        return (
+            tuple(tuple(row) for row in self.dist),
+            tuple(tuple(row) for row in self.hop),
+        )
+
+    def restore(self, vec: StateVector) -> None:
+        """Diff-restore through :meth:`_write`, so both dirty channels —
+        this protocol's own guards and the ``next_hop`` observers — see
+        exactly the entries that changed."""
+        dist, hop = vec
+        n = self._net.n
+        for d in range(n):
+            dist_row, hop_row = self.dist[d], self.hop[d]
+            new_dist, new_hop = dist[d], hop[d]
+            for p in range(n):
+                if dist_row[p] != new_dist[p] or hop_row[p] != new_hop[p]:
+                    self._write(d, p, new_dist[p], new_hop[p])

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.statemodel.action import Action
 from repro.statemodel.protocol import Protocol
+from repro.statemodel.snapshot import StateVector
 from repro.types import ProcId
 
 
@@ -81,6 +82,17 @@ class PriorityStack:
         for proto in self._protocols:
             total += proto.component_evals
         return total
+
+    def snapshot(self) -> StateVector:
+        """State vector of the whole stack: one entry per layer, in
+        priority order."""
+        return tuple(proto.snapshot() for proto in self._protocols)
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot`, layer by
+        layer."""
+        for proto, layer_vec in zip(self._protocols, vec):
+            proto.restore(layer_vec)
 
     def dirty_after(self, selection: Dict[ProcId, Action]) -> Optional[Set[ProcId]]:
         """Union of the layers' dirty sets; ``None`` (full re-scan) as soon

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional, Set
 
 from repro.statemodel.action import Action
+from repro.statemodel.snapshot import EMPTY_STATE, StateVector
 from repro.types import ProcId
 
 
@@ -98,10 +99,30 @@ class Protocol(ABC):
         """
         return None
 
-    def snapshot(self) -> Dict[str, Any]:
-        """A JSON-ish dump of protocol state for traces and figure replays.
-        Default: empty."""
+    def dump(self) -> Dict[str, Any]:
+        """A JSON-ish dump of protocol state for traces and figure replays
+        (human-facing, lossy).  Default: empty.  Not to be confused with
+        :meth:`snapshot`, the exact machine-facing state vector."""
         return {}
+
+    def snapshot(self) -> StateVector:
+        """The protocol's full mutable state as an immutable vector (see
+        :mod:`repro.statemodel.snapshot` for the contract).  Default: the
+        empty vector — correct only for stateless protocols; every stateful
+        protocol explored by :mod:`repro.verify` must override both this
+        and :meth:`restore`."""
+        return EMPTY_STATE
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot`.  The default
+        accepts only the empty vector, so a stateful protocol that forgot
+        to implement the pair fails loudly instead of silently corrupting
+        an exploration."""
+        if vec != EMPTY_STATE:
+            raise NotImplementedError(
+                f"{type(self).__name__} returned a non-empty state vector "
+                "but does not implement restore()"
+            )
 
     def is_enabled(self, pid: ProcId) -> bool:
         """True iff at least one action of this protocol is enabled at

@@ -1,0 +1,67 @@
+"""The explicit snapshot/restore state layer.
+
+The exhaustive verifiers (:mod:`repro.verify`) explore the reachable
+configuration graph of small instances.  Doing that by ``copy.deepcopy``-ing
+the whole system per transition is correct but slow — the copy walks every
+object of every layer, including immutable networks, caches and notifier
+wiring, and the canonicalization then re-reads the same state a second
+time.  This module defines the protocol that replaces it:
+
+``snapshot() -> StateVector``
+    Return a compact, immutable (nested-tuple) vector of *every* piece of
+    mutable state the component owns that can influence future behavior or
+    canonicalization.  Caches and derived indexes (occupancy counts,
+    component dirty sets, ``next_hop`` caches) are **excluded**: they are
+    rebuilt or repaired on restore.  Immutable values (frozen
+    :class:`~repro.statemodel.message.Message` instances, delivery records)
+    are shared by reference, never copied.
+
+``restore(vec) -> None``
+    Bring the component back to exactly the state captured by ``vec``.
+    Restore is a *diffing* write: only cells that actually differ from the
+    current configuration are written, and every real write goes through
+    the same mutators (and therefore the same change notifiers) as protocol
+    execution.  That last property is what lets the verifiers keep the
+    component-granular incremental engine of the simulator engaged: after a
+    restore, exactly the components whose guard inputs changed since the
+    previously evaluated configuration are dirty, and
+    ``enabled_actions`` re-evaluates only those.
+
+Contract
+--------
+* ``restore(snapshot())`` is a no-op (no writes, no notifications beyond
+  over-approximation; observable state unchanged).
+* ``snapshot()`` after ``restore(vec)`` equals ``vec`` (round-trip
+  identity) — pinned per component in ``tests/test_snapshot_state.py``.
+* Vectors are plain nested tuples: hashable when the payloads are, cheap
+  to store by the hundred-thousand, and directly usable as the source of
+  the verifier's canonical form (``_System.canon`` is a *projection* of
+  the state vector, so canonicalization and restoration can never
+  diverge).
+
+Implementors: :class:`~repro.core.buffers.ForwardingBuffers`,
+:class:`~repro.core.choice.FairChoiceQueue`,
+:class:`~repro.core.ledger.DeliveryLedger`,
+:class:`~repro.app.higher_layer.HigherLayer`,
+:class:`~repro.statemodel.message.MessageFactory`,
+:class:`~repro.core.protocol.SSMFP`,
+:class:`~repro.routing.selfstab_bfs.SelfStabilizingBFSRouting`,
+:class:`~repro.routing.static.StaticRouting` (vacuously — immutable), the
+:class:`~repro.statemodel.protocol.Protocol` base (default: stateless) and
+:class:`~repro.statemodel.composition.PriorityStack` (layer aggregation).
+See ``docs/verify.md`` for the explorer architecture built on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: A component's full mutable state as an immutable nested tuple.  The
+#: concrete shape is private to each component; callers treat vectors as
+#: opaque values that only :meth:`restore` (of the component that produced
+#: them) understands.
+StateVector = Tuple[Any, ...]
+
+#: The state vector of a component with no mutable state (and the default
+#: for protocols that do not override :meth:`Protocol.snapshot`).
+EMPTY_STATE: StateVector = ()

@@ -20,17 +20,26 @@ both conditions — a *fair livelock*, i.e. a genuine starvation
 counterexample.  The paper's FIFO ``choice`` makes SSMFP free of them;
 the ``"fixed"`` ablation policy is not (the A2 starvation, now found
 exhaustively).
+
+Like the safety checker, the graph can be built by two engines: the
+default ``"snapshot"`` engine restores state vectors into one reused
+system (keeping the incremental guard caches engaged), while the legacy
+``"deepcopy"`` engine clones the system per transition and serves as the
+differential oracle.  Both produce the bit-identical graph.
+
+Unlike :meth:`ModelChecker.run`, a selection fan-out overflow here
+*propagates* as :class:`~repro.errors.SelectionOverflow` — a partially
+built reachable graph cannot prove starvation-freedom, so there is no
+meaningful truncated result to return.
 """
 
 from __future__ import annotations
 
 import copy
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.errors import ReproError
-from repro.verify.modelcheck import _System
+from repro.verify.modelcheck import _System, ENGINES, enumerate_selections
 
 
 @dataclass
@@ -67,13 +76,17 @@ class LivenessChecker:
         max_states: int = 30_000,
         max_selection_width: int = 1024,
         ignore_pending: Optional[Set[int]] = None,
+        engine: str = "snapshot",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; want one of {ENGINES}")
         self._make_system = make_system
         self._max_states = max_states
         self._max_width = max_selection_width
         #: Processors whose pending submissions do not count as starvation
         #: (deliberately infinite pressure sources of the test harness).
         self._ignore_pending = frozenset(ignore_pending or ())
+        self._engine = engine
 
     def _fresh(self) -> _System:
         made = self._make_system()
@@ -83,32 +96,94 @@ class LivenessChecker:
         return _System(made)
 
     def _selections(self, enabled: Dict[int, List]) -> List[Dict[int, int]]:
-        pids = sorted(enabled)
-        selections: List[Dict[int, int]] = []
-        for r in range(1, len(pids) + 1):
-            for subset in itertools.combinations(pids, r):
-                ranges = [range(len(enabled[pid])) for pid in subset]
-                for choice in itertools.product(*ranges):
-                    selections.append(dict(zip(subset, choice)))
-                    if len(selections) > self._max_width:
-                        raise ReproError(
-                            f"selection fan-out exceeds {self._max_width}"
-                        )
-        return selections
+        return enumerate_selections(enabled, self._max_width)
 
     # -- graph construction -------------------------------------------------------
+
+    def _node_metadata(self, system: _System) -> FrozenSet[int]:
+        """Starvation targets of the *current* configuration:
+        generated-but-undelivered uids, plus *pending submissions* that
+        were never even generated — encoded as ``-(p+1)`` markers (rule R1
+        starvation, the A2 mode)."""
+        hl = system.proto.hl
+        pending_markers = frozenset(
+            -(p + 1)
+            for p in range(system.proto.net.n)
+            if p not in self._ignore_pending and hl.pending_count(p) > 0
+        )
+        return frozenset(system.proto.ledger.outstanding_uids()) | pending_markers
 
     def _explore(self):
         """Build the reachable graph.  Returns (node data, edges,
         truncated)."""
-        root = self._fresh()
-        root.advance_env()
-        keys: Dict[Tuple, int] = {root.canon(): 0}
-        systems: List[Optional[_System]] = [root]
+        if self._engine == "deepcopy":
+            return self._explore_deepcopy()
+        return self._explore_snapshot()
+
+    def _explore_snapshot(self):
+        system = self._fresh()
+        system.advance_env()
+        stack = system.stack()
+        n_procs = system.proto.net.n
+        root_vec = system.snapshot()
+        keys: Dict[Tuple, int] = {system.canon(root_vec): 0}
+        vecs: List[Optional[Tuple]] = [root_vec]
         # Per node: outstanding uid set, set of enabled pids.
         outstanding: List[FrozenSet[int]] = []
         enabled_pids: List[FrozenSet[int]] = []
         # Edges annotated with the executing pid set.
+        edges: List[List[Tuple[int, FrozenSet[int]]]] = []
+        truncated = False
+
+        index = 0
+        while index < len(vecs):
+            if index >= self._max_states:
+                truncated = True
+                break
+            vec = vecs[index]
+            system.restore(vec)
+            outstanding.append(self._node_metadata(system))
+            # Drain the dirty channel so only the components touched since
+            # the previously evaluated configuration are re-evaluated.
+            stack.dirty_after({})
+            enabled = {pid: stack.enabled_actions(pid) for pid in range(n_procs)}
+            enabled = {pid: a for pid, a in enabled.items() if a}
+            enabled_pids.append(frozenset(enabled))
+            edges.append([])
+            for selection in self._selections(enabled):
+                # Back to the parent configuration; the parent's bound
+                # actions can be re-executed per selection (see
+                # modelcheck's snapshot engine).
+                system.restore(vec)
+                for pid, idx in selection.items():
+                    enabled[pid][idx].execute()
+                system.step += 1
+                system.advance_env()
+                child_vec = system.snapshot()
+                key = system.canon(child_vec)
+                if key in keys:
+                    target = keys[key]
+                else:
+                    target = len(vecs)
+                    keys[key] = target
+                    vecs.append(child_vec)
+                edges[index].append((target, frozenset(selection)))
+            vecs[index] = None  # free memory; only metadata needed now
+            index += 1
+        # Nodes appended beyond the cap have no metadata; trim edges to
+        # explored nodes only.
+        explored = len(edges)
+        for lst in edges:
+            lst[:] = [(t, pids) for t, pids in lst if t < explored]
+        return outstanding, enabled_pids, edges, truncated
+
+    def _explore_deepcopy(self):
+        root = self._fresh()
+        root.advance_env()
+        keys: Dict[Tuple, int] = {root.canon(): 0}
+        systems: List[Optional[_System]] = [root]
+        outstanding: List[FrozenSet[int]] = []
+        enabled_pids: List[FrozenSet[int]] = []
         edges: List[List[Tuple[int, FrozenSet[int]]]] = []
         truncated = False
 
@@ -118,19 +193,7 @@ class LivenessChecker:
                 truncated = True
                 break
             system = systems[index]
-            # Starvation targets: generated-but-undelivered uids, plus
-            # *pending submissions* that were never even generated —
-            # encoded as -(p+1) markers (rule R1 starvation, the A2 mode).
-            hl = system.proto.hl
-            pending_markers = frozenset(
-                -(p + 1)
-                for p in range(system.proto.net.n)
-                if p not in self._ignore_pending and hl.pending_count(p) > 0
-            )
-            outstanding.append(
-                frozenset(system.proto.ledger.outstanding_uids())
-                | pending_markers
-            )
+            outstanding.append(self._node_metadata(system))
             enabled = {
                 pid: system.stack().enabled_actions(pid)
                 for pid in range(system.proto.net.n)
@@ -157,8 +220,6 @@ class LivenessChecker:
                 edges[index].append((target, frozenset(selection)))
             systems[index] = None  # free memory; only metadata needed now
             index += 1
-        # Nodes appended beyond the cap have no metadata; trim edges to
-        # explored nodes only.
         explored = len(edges)
         for lst in edges:
             lst[:] = [(t, pids) for t, pids in lst if t < explored]

@@ -4,15 +4,36 @@ The checker performs BFS over *every* reachable configuration: from each
 configuration it enumerates every daemon choice the model allows — every
 nonempty subset of enabled processors, every choice of enabled action per
 selected processor, i.e. the full distributed-daemon semantics including
-simultaneity — and applies it to a deep copy of the system.  In every
-visited configuration the safety invariants (Lemmas 4-5 plus
-well-formedness) are checked, the strict ledger arms the exactly-once
-specification, and every *terminal* configuration is required to have
-delivered all generated messages.
+simultaneity.  In every visited configuration the safety invariants
+(Lemmas 4-5 plus well-formedness) are checked, the strict ledger arms the
+exactly-once specification, and every *terminal* configuration is required
+to have delivered all generated messages.
 
 This is genuine model checking (bounded only by the instance size), not
 sampling: on a 3-processor line with two same-payload messages it visits
 every configuration the paper's adversary could ever produce.
+
+Exploration engines
+-------------------
+The default ``"snapshot"`` engine explores **one** reused system through
+the explicit snapshot/restore layer (:mod:`repro.statemodel.snapshot`):
+each transition restores the parent's state vector (a diffing write that
+touches only the cells that differ), executes the selected actions —
+reusing the parent's already-bound :class:`~repro.statemodel.action.Action`
+objects, which is sound because restore reinstates the exact configuration
+they were evaluated against — and snapshots the child.  Because every
+restore write flows through the ordinary change notifiers, the
+component-granular incremental engine of the simulator stays engaged: a
+popped state re-evaluates only the ``(processor, destination)`` components
+touched since the previously evaluated configuration.  The canonical form
+is a projection of the same state vector, so canonicalization and
+restoration can never diverge.
+
+The legacy ``"deepcopy"`` engine clones the whole system per transition
+with :func:`copy.deepcopy`.  It is kept as the differential oracle: the
+equivalence suite and the X-SNAP benchmark pin that both engines visit the
+bit-identical state set, transition count and violations (see
+``docs/verify.md``).
 """
 
 from __future__ import annotations
@@ -25,8 +46,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.invariants import InvariantChecker
 from repro.core.protocol import SSMFP
-from repro.errors import ReproError
+from repro.errors import ReproError, SelectionOverflow
 from repro.statemodel.composition import PriorityStack
+from repro.statemodel.snapshot import StateVector
+
+#: The exploration engines accepted by the verifiers.
+ENGINES = ("snapshot", "deepcopy")
 
 
 @dataclass
@@ -41,6 +66,9 @@ class ModelCheckResult:
     #: Human-readable invariant/spec failures with their depth (empty ==
     #: the instance is exhaustively safe).
     violations: List[str] = field(default_factory=list)
+    #: Why a truncated search stopped early (state cap, selection fan-out);
+    #: None for complete searches.
+    note: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -48,53 +76,92 @@ class ModelCheckResult:
         return not self.violations and not self.truncated
 
 
+def enumerate_selections(
+    enabled: Dict[int, List], max_width: int
+) -> List[Dict[int, int]]:
+    """Every daemon choice: nonempty subset of enabled pids x one enabled
+    action index each.  Raises :class:`SelectionOverflow` when the fan-out
+    exceeds ``max_width`` (the per-state safety valve)."""
+    pids = sorted(enabled)
+    selections: List[Dict[int, int]] = []
+    for r in range(1, len(pids) + 1):
+        for subset in itertools.combinations(pids, r):
+            index_ranges = [range(len(enabled[pid])) for pid in subset]
+            for choice in itertools.product(*index_ranges):
+                selections.append(dict(zip(subset, choice)))
+                if len(selections) > max_width:
+                    raise SelectionOverflow(
+                        f"selection fan-out exceeds {max_width}; "
+                        "use a smaller instance or raise max_selection_width"
+                    )
+    return selections
+
+
 class _System:
-    """The deep-copyable bundle the checker explores."""
+    """The explorable bundle: the protocol stack plus the step counter,
+    with snapshot/restore and snapshot-derived canonicalization."""
 
     def __init__(self, proto: SSMFP, extra_protocols=()) -> None:
         self.proto = proto
         self.protocols = list(extra_protocols) + [proto]
+        #: Built once and reused for every guard evaluation (the
+        #: pre-snapshot checker rebuilt a fresh stack per call, discarding
+        #: the composition's caches each time).
+        self._stack = PriorityStack(self.protocols)
         self.step = 0
 
     def stack(self) -> PriorityStack:
-        return PriorityStack(self.protocols)
+        return self._stack
 
     def advance_env(self) -> None:
         """The environment phase (requests + queue sync), deterministic."""
-        self.stack().before_step(self.step)
+        self._stack.before_step(self.step)
 
-    def canon(self) -> Tuple:
-        """A hashable canonical form of the full configuration."""
-        proto = self.proto
+    # -- snapshot/restore ----------------------------------------------------
+
+    def snapshot(self) -> StateVector:
+        """Full state vector: every layer's vector plus the step counter."""
+        return (self._stack.snapshot(), self.step)
+
+    def restore(self, vec: StateVector) -> None:
+        """Reinstate a previously captured :meth:`snapshot` (diffing —
+        only cells that differ are written, through the layers' ordinary
+        mutators and change notifiers)."""
+        stack_vec, step = vec
+        self._stack.restore(stack_vec)
+        self.step = step
+
+    def canon(self, vec: Optional[StateVector] = None) -> Tuple:
+        """A hashable canonical form of the full configuration, **derived
+        from the state vector** — the same value :meth:`restore` consumes,
+        so canonicalization and restoration cannot diverge.
+
+        The projection drops state that never influences future protocol
+        behavior distinguishably: the step counter, message birth stamps,
+        the uid counters (determined by the generation count), the
+        delivery/violation logs and the ledger's per-record details.
+        """
+        if vec is None:
+            vec = self.snapshot()
+        stack_vec, _step = vec
+        bufs_vec, queues_vec, hl_vec, ledger_vec, _factory, _pstep = stack_vec[-1]
         buffers = tuple(
             (d, p, kind, msg.payload, msg.last, msg.color, msg.uid)
-            for d, p, kind, msg in proto.bufs.iter_messages()
+            for d, p, kind, msg in bufs_vec
         )
-        queues = tuple(
-            (d, p, proto.queues[d][p].state())
-            for d in proto.net.processors()
-            for p in proto.net.processors()
-            if proto.queues[d][p].state() != ((), ())
-        )
-        hl = proto.hl
-        app = (
-            tuple(tuple(box) for box in hl._outbox),
-            tuple(hl.request),
-        )
-        routing_state: Tuple = ()
-        if hasattr(proto.routing, "dist"):
-            routing_state = (
-                tuple(tuple(row) for row in proto.routing.dist),
-                tuple(tuple(row) for row in proto.routing.hop),
-            )
-        ledger = proto.ledger
+        app = (hl_vec[0], hl_vec[1])
+        generated, delivered, invalid, _lost, _violations = ledger_vec
+        delivered_uids = {uid for uid, _ in delivered}
         accounts = (
-            tuple(sorted(ledger.outstanding_uids())),
-            ledger.generated_count,
-            ledger.valid_delivered_count,
-            ledger.invalid_delivery_count,
+            tuple(sorted(uid for uid, _ in generated if uid not in delivered_uids)),
+            len(generated),
+            len(delivered),
+            len(invalid),
         )
-        return (buffers, queues, app, routing_state, accounts)
+        #: Higher-priority layers (e.g. the routing protocol ``A``) are
+        #: canonical in full — their vectors are already compact tables.
+        extras = stack_vec[:-1]
+        return (buffers, queues_vec, app, extras, accounts)
 
 
 class ModelChecker:
@@ -111,6 +178,13 @@ class ModelChecker:
         Exploration cap; exceeding it marks the result ``truncated``.
     max_selection_width:
         Safety valve on the per-state fan-out (number of daemon choices).
+        Exceeding it also marks the result ``truncated`` (with
+        :attr:`ModelCheckResult.note` explaining why) — ``run()`` never
+        raises.
+    engine:
+        ``"snapshot"`` (default) explores one reused system through the
+        snapshot/restore layer; ``"deepcopy"`` clones the system per
+        transition (the legacy engine, kept as the differential oracle).
     """
 
     def __init__(
@@ -118,10 +192,14 @@ class ModelChecker:
         make_system,
         max_states: int = 50_000,
         max_selection_width: int = 512,
+        engine: str = "snapshot",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; want one of {ENGINES}")
         self._make_system = make_system
         self._max_states = max_states
         self._max_width = max_selection_width
+        self._engine = engine
 
     def _fresh(self) -> _System:
         made = self._make_system()
@@ -131,29 +209,100 @@ class ModelChecker:
         return _System(made)
 
     def _selections(self, enabled: Dict[int, List]) -> List[Dict[int, int]]:
-        """Every daemon choice: nonempty subset of enabled pids x one
-        enabled action index each."""
-        pids = sorted(enabled)
-        selections: List[Dict[int, int]] = []
-        for r in range(1, len(pids) + 1):
-            for subset in itertools.combinations(pids, r):
-                index_ranges = [range(len(enabled[pid])) for pid in subset]
-                for choice in itertools.product(*index_ranges):
-                    selections.append(dict(zip(subset, choice)))
-                    if len(selections) > self._max_width:
-                        raise ReproError(
-                            f"selection fan-out exceeds {self._max_width}; "
-                            "use a smaller instance"
-                        )
-        return selections
+        return enumerate_selections(enabled, self._max_width)
 
     def run(self) -> ModelCheckResult:
-        """Explore exhaustively; never raises on protocol violations —
-        they are collected into the result."""
+        """Explore exhaustively; never raises on protocol violations or
+        fan-out overflow — violations are collected into the result and an
+        overflow truncates it (see :attr:`ModelCheckResult.note`)."""
         result = ModelCheckResult(
             states=0, transitions=0, terminal_states=0,
             max_frontier=0, truncated=False,
         )
+        if self._engine == "deepcopy":
+            return self._run_deepcopy(result)
+        return self._run_snapshot(result)
+
+    # -- snapshot engine -----------------------------------------------------
+
+    def _run_snapshot(self, result: ModelCheckResult) -> ModelCheckResult:
+        system = self._fresh()
+        system.advance_env()
+        stack = system.stack()
+        n = system.proto.net.n
+        root_vec = system.snapshot()
+        seen = {system.canon(root_vec)}
+        frontier: deque = deque([(root_vec, 0)])
+
+        while frontier:
+            result.max_frontier = max(result.max_frontier, len(frontier))
+            if result.states >= self._max_states:
+                result.truncated = True
+                result.note = f"state cap {self._max_states} reached"
+                break
+            vec, depth = frontier.popleft()
+            system.restore(vec)
+            result.states += 1
+
+            try:
+                InvariantChecker(system.proto).check()
+            except ReproError as exc:
+                result.violations.append(f"depth {depth}: {exc}")
+                continue
+
+            # Drain the dirty channel so the component caches stay engaged:
+            # only components touched since the previously evaluated
+            # configuration (by execution, environment moves, or restore
+            # diffs) are re-evaluated inside enabled_actions.
+            stack.dirty_after({})
+            enabled = {pid: stack.enabled_actions(pid) for pid in range(n)}
+            enabled = {pid: acts for pid, acts in enabled.items() if acts}
+            if not enabled:
+                result.terminal_states += 1
+                ledger = system.proto.ledger
+                if not ledger.all_valid_delivered():
+                    result.violations.append(
+                        f"depth {depth}: terminal configuration with "
+                        f"undelivered uids {sorted(ledger.outstanding_uids())}"
+                    )
+                if system.proto.hl.total_pending():
+                    result.violations.append(
+                        f"depth {depth}: terminal configuration with "
+                        f"pending submissions"
+                    )
+                continue
+
+            try:
+                selections = self._selections(enabled)
+            except SelectionOverflow as exc:
+                result.truncated = True
+                result.note = f"depth {depth}: {exc}"
+                break
+
+            for selection in selections:
+                # Back to the parent configuration: the enabled actions
+                # were bound against exactly this state, so they can be
+                # re-executed per selection without re-deriving them.
+                system.restore(vec)
+                try:
+                    for pid, action_index in selection.items():
+                        enabled[pid][action_index].execute()
+                except ReproError as exc:
+                    result.violations.append(f"depth {depth + 1}: {exc}")
+                    continue
+                result.transitions += 1
+                system.step += 1
+                system.advance_env()
+                child_vec = system.snapshot()
+                key = system.canon(child_vec)
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((child_vec, depth + 1))
+        return result
+
+    # -- legacy deepcopy engine ----------------------------------------------
+
+    def _run_deepcopy(self, result: ModelCheckResult) -> ModelCheckResult:
         root = self._fresh()
         root.advance_env()
         seen = {root.canon()}
@@ -163,6 +312,7 @@ class ModelChecker:
             result.max_frontier = max(result.max_frontier, len(frontier))
             if result.states >= self._max_states:
                 result.truncated = True
+                result.note = f"state cap {self._max_states} reached"
                 break
             system, depth = frontier.popleft()
             result.states += 1
@@ -193,7 +343,14 @@ class ModelChecker:
                     )
                 continue
 
-            for selection in self._selections(enabled):
+            try:
+                selections = self._selections(enabled)
+            except SelectionOverflow as exc:
+                result.truncated = True
+                result.note = f"depth {depth}: {exc}"
+                break
+
+            for selection in selections:
                 child = copy.deepcopy(system)
                 child_enabled = {
                     pid: child.stack().enabled_actions(pid)

@@ -62,7 +62,7 @@ class TestPlantInvalidMessages:
         p2 = make_ssmfp(ring6)
         plant_invalid_messages(p1, seed=9, fill_fraction=0.5)
         plant_invalid_messages(p2, seed=9, fill_fraction=0.5)
-        assert p1.snapshot() == p2.snapshot()
+        assert p1.dump() == p2.dump()
 
     def test_rejects_bad_fraction(self, line5):
         proto = make_ssmfp(line5)

@@ -122,7 +122,7 @@ class TestSnapshotAndCandidates:
     def test_snapshot_lists_occupied_buffers(self, line5):
         proto = make_ssmfp(line5)
         proto.bufs.set_r(2, 1, proto.factory.invalid("g", 1, 0, 2))
-        snap = proto.snapshot()
+        snap = proto.dump()
         assert "bufR_1(2)" in snap
 
     def test_candidates_include_requesting_self(self, line5):

@@ -4,7 +4,6 @@ results it establishes on small instances."""
 import pytest
 
 from repro.core.corruption import plant_invalid_message
-from repro.errors import ReproError
 from repro.network.topologies import line_network, paper_figure3_network
 from repro.routing.selfstab_bfs import SelfStabilizingBFSRouting
 from repro.verify.modelcheck import ModelChecker
@@ -37,7 +36,11 @@ class TestCheckerMechanics:
         assert result.truncated
         assert not result.ok
 
-    def test_fan_out_guard(self):
+    @pytest.mark.parametrize("engine", ["snapshot", "deepcopy"])
+    def test_fan_out_guard_truncates_instead_of_raising(self, engine):
+        # run() never raises: a selection fan-out beyond the safety valve
+        # yields a truncated result with an explanatory note, not an
+        # escaping ReproError.
         def make():
             net = line_network(5)
             proto = make_ssmfp(net)
@@ -45,8 +48,26 @@ class TestCheckerMechanics:
                 proto.hl.submit(p, f"m{p}", 4)
             return proto
 
-        with pytest.raises(ReproError, match="fan-out"):
-            ModelChecker(make, max_selection_width=2).run()
+        result = ModelChecker(make, max_selection_width=2, engine=engine).run()
+        assert result.truncated
+        assert not result.ok
+        assert result.note is not None and "fan-out" in result.note
+
+    def test_state_cap_note(self):
+        def make():
+            net = line_network(3)
+            proto = make_ssmfp(net)
+            for i in range(3):
+                proto.hl.submit(0, f"m{i}", 2)
+            return proto
+
+        result = ModelChecker(make, max_states=5).run()
+        assert result.truncated
+        assert result.note is not None and "state cap" in result.note
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ModelChecker(lambda: None, engine="teleport")
 
 
 class TestExhaustiveSafety:

@@ -1,0 +1,329 @@
+"""The explicit snapshot/restore state layer.
+
+Two families of guarantees:
+
+* **Round-trip identity** per stateful component: ``snapshot()`` → mutate
+  arbitrarily → ``restore(vec)`` reinstates exactly the captured state
+  (``snapshot()`` equals the vector again, and the full-system canonical
+  form is unchanged).  Restores are diffing writes through the ordinary
+  mutators, so the incremental engine's dirty channels fire for exactly
+  the cells that changed — also asserted here.
+
+* **Engine equivalence**: the snapshot-based explorers visit the
+  bit-identical state set, transition count, terminal states and
+  violations as the legacy deepcopy explorers on the seed instances
+  (safety *and* liveness, safe *and* counterexample cases).
+"""
+
+import pytest
+
+from repro.app.higher_layer import HigherLayer
+from repro.core.buffers import ForwardingBuffers
+from repro.core.choice import FairChoiceQueue
+from repro.core.corruption import plant_invalid_message, plant_invalid_messages
+from repro.core.ledger import DeliveryLedger
+from repro.network.topologies import line_network, ring_network
+from repro.routing.selfstab_bfs import SelfStabilizingBFSRouting
+from repro.routing.static import StaticRouting
+from repro.statemodel.message import MessageFactory
+from repro.statemodel.protocol import Protocol
+from repro.verify.liveness import LivenessChecker
+from repro.verify.modelcheck import ModelChecker, _System
+
+from tests.helpers import make_ssmfp
+
+
+class TestBufferSnapshot:
+    def test_round_trip_identity(self):
+        factory = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        bufs.set_r(2, 0, factory.generated("a", 0, 2, 0, 0))
+        bufs.set_e(2, 1, factory.invalid("g", 1, 0, 2))
+        vec = bufs.snapshot()
+        bufs.set_r(2, 0, None)
+        bufs.set_r(0, 1, factory.invalid("x", 1, 1, 0))
+        bufs.set_e(2, 1, factory.invalid("y", 1, 0, 2))
+        bufs.restore(vec)
+        assert bufs.snapshot() == vec
+
+    def test_restore_notifies_exactly_the_diff(self):
+        factory = MessageFactory()
+        bufs = ForwardingBuffers(3)
+        bufs.set_r(2, 0, factory.generated("a", 0, 2, 0, 0))
+        bufs.set_e(1, 1, factory.invalid("g", 1, 1, 1))
+        vec = bufs.snapshot()
+        bufs.set_r(2, 0, None)          # will need re-filling
+        events = []
+        bufs.add_notifier(lambda d, p, kind: events.append((d, p, kind)))
+        bufs.restore(vec)
+        # Only the cleared cell is rewritten; the untouched E-buffer is not.
+        assert events == [(2, 0, "R")]
+
+    def test_restore_to_empty(self):
+        factory = MessageFactory()
+        bufs = ForwardingBuffers(2)
+        vec = bufs.snapshot()
+        bufs.set_r(1, 0, factory.generated("a", 0, 1, 0, 0))
+        bufs.restore(vec)
+        assert bufs.total_occupied() == 0
+
+
+class TestChoiceQueueSnapshot:
+    @pytest.mark.parametrize("policy", ["fifo", "lifo", "aged", "aged_fair"])
+    def test_round_trip_identity(self, policy):
+        q = FairChoiceQueue(policy=policy)
+        q.sync({1, 2, 3})
+        q.serve(q.head())
+        vec = q.snapshot()
+        q.sync({2, 4})
+        q.serve(q.head())
+        q.restore(vec)
+        assert q.snapshot() == vec
+
+    def test_restore_notifies_only_on_change(self):
+        q = FairChoiceQueue(policy="fifo")
+        q.sync({1, 2})
+        vec = q.snapshot()
+        events = []
+        q.bind_notifier(lambda key, evt: events.append((key, evt)), key="k")
+        q.restore(vec)                  # identical state: silent
+        assert events == []
+        q.sync({3})
+        events.clear()
+        q.restore(vec)                  # real change: one mutate event
+        assert events == [("k", "mutate")]
+        assert q.snapshot() == vec
+
+
+class TestLedgerSnapshot:
+    def test_round_trip_identity(self):
+        factory = MessageFactory()
+        ledger = DeliveryLedger()
+        m1 = factory.generated("a", 0, 2, 0, 0)
+        m2 = factory.generated("b", 1, 2, 0, 0)
+        ledger.record_generated(m1)
+        ledger.record_generated(m2)
+        ledger.record_delivery(2, m1, 3)
+        vec = ledger.snapshot()
+        ledger.record_delivery(2, m2, 4)
+        ledger.record_generated(factory.generated("c", 0, 1, 0, 5))
+        ledger.restore(vec)
+        assert ledger.snapshot() == vec
+        assert ledger.outstanding_uids() == {m2.uid}
+        assert ledger.generated_count == 2
+
+
+class TestHigherLayerSnapshot:
+    def test_round_trip_identity(self):
+        hl = HigherLayer(3)
+        hl.submit(0, "a", 2)
+        hl.submit(0, "b", 1)
+        hl.before_step(0)
+        vec = hl.snapshot()
+        hl.consume_request(0)
+        hl.submit(1, "c", 0)
+        hl.before_step(1)
+        hl.restore(vec)
+        assert hl.snapshot() == vec
+        assert hl.next_destination(0) == 2
+        assert hl.pending_count(0) == 2
+
+    def test_restore_notifies_the_changed_processor_only(self):
+        hl = HigherLayer(3)
+        hl.submit(0, "a", 2)
+        hl.submit(1, "b", 2)
+        hl.before_step(0)
+        vec = hl.snapshot()
+        hl.consume_request(0)
+        events = []
+        hl.bind_notifier(lambda p, dest: events.append((p, dest)))
+        hl.restore(vec)
+        # Processor 0's handshake state changed; processor 1's did not.
+        # No (p, None) events: restore never forces a mark-all-dirty.
+        assert events and all(p == 0 for p, _ in events)
+        assert all(dest is not None for _, dest in events)
+
+
+class TestFactorySnapshot:
+    def test_uid_counters_round_trip(self):
+        factory = MessageFactory()
+        factory.generated("a", 0, 1, 0, 0)
+        vec = factory.snapshot()
+        m_before = factory.generated("b", 0, 1, 0, 1)
+        factory.restore(vec)
+        m_after = factory.generated("b", 0, 1, 0, 1)
+        assert m_before.uid == m_after.uid
+
+
+class TestRoutingSnapshot:
+    def test_static_routing_is_vacuous(self):
+        net = line_network(3)
+        routing = StaticRouting(net)
+        assert routing.snapshot() == ()
+        routing.restore(())             # must not raise
+
+    def test_selfstab_round_trip_identity(self):
+        net = ring_network(4)
+        routing = SelfStabilizingBFSRouting(net)
+        vec = routing.snapshot()
+        routing.hop[2][1] = 0
+        routing.dist[2][1] = 3
+        routing.invalidate()
+        routing.restore(vec)
+        assert routing.snapshot() == vec
+        assert routing.is_correct()
+
+    def test_restore_feeds_the_observer_channel(self):
+        net = line_network(3)
+        routing = SelfStabilizingBFSRouting(net)
+        vec = routing.snapshot()
+        routing.hop[2][0] = 0           # direct corruption, hop moved
+        events = []
+        routing.add_observer(lambda p, d: events.append((p, d)))
+        routing.restore(vec)
+        assert events == [(0, 2)]
+
+    def test_protocol_base_default_rejects_state(self):
+        class Minimal(Protocol):
+            name = "M"
+
+            def enabled_actions(self, pid):
+                return []
+
+        proto = Minimal()
+        assert proto.snapshot() == ()
+        proto.restore(())               # vacuous restore is fine
+        with pytest.raises(NotImplementedError):
+            proto.restore(("state",))
+
+
+class TestFullSystemRoundTrip:
+    """snapshot → mutate (by executing real protocol moves) → restore →
+    canon is the identity, for a system with garbage, live routing and
+    traffic — every stateful component participates."""
+
+    def _system(self):
+        net = line_network(3)
+        routing = SelfStabilizingBFSRouting(net)
+        routing.hop[2][1] = 0
+        routing.dist[2][1] = 1
+        routing.invalidate()
+        proto = make_ssmfp(net, routing=routing)
+        plant_invalid_messages(proto, seed=4, fill_fraction=0.4)
+        proto.hl.submit(0, "m", 2)
+        proto.hl.submit(2, "w", 0)
+        return _System(proto, [routing])
+
+    def test_restore_after_real_moves_is_identity(self):
+        system = self._system()
+        system.advance_env()
+        vec = system.snapshot()
+        key = system.canon(vec)
+        # Execute real moves to scramble every layer, several steps deep.
+        for _ in range(6):
+            system.stack().dirty_after({})
+            for pid in range(system.proto.net.n):
+                actions = system.stack().enabled_actions(pid)
+                if actions:
+                    actions[0].execute()
+                    break
+            system.step += 1
+            system.advance_env()
+        assert system.canon() != key    # the scramble really moved state
+        system.restore(vec)
+        assert system.snapshot() == vec
+        assert system.canon() == key
+
+    def test_canon_needs_no_private_reach(self):
+        # canon() is a pure projection of the state vector; the outbox part
+        # comes from the public HigherLayer.outboxes() accessor.
+        system = self._system()
+        hl = system.proto.hl
+        vec = system.snapshot()
+        assert system.canon(vec)[2][0] == hl.outboxes()
+
+
+def _clean_pair():
+    net = line_network(3)
+    proto = make_ssmfp(net)
+    proto.hl.submit(0, "dup", 2)
+    proto.hl.submit(0, "dup", 2)
+    return proto
+
+
+def _with_garbage():
+    net = line_network(3)
+    proto = make_ssmfp(net)
+    plant_invalid_message(proto, 2, 1, "E", "g", last=1, color=0)
+    plant_invalid_message(proto, 0, 1, "R", "g", last=0, color=1)
+    proto.hl.submit(0, "m", 2)
+    return proto
+
+
+def _live_routing():
+    net = line_network(3)
+    routing = SelfStabilizingBFSRouting(net)
+    routing.hop[2][1] = 0
+    routing.dist[2][1] = 1
+    proto = make_ssmfp(net, routing=routing)
+    proto.hl.submit(0, "m", 2)
+    return proto, [routing]
+
+
+def _literal_r5():
+    net = line_network(3)
+    proto = make_ssmfp(net, r5_literal=True)
+    proto.hl.submit(0, "dup", 2)
+    proto.hl.submit(0, "dup", 2)
+    return proto
+
+
+class TestEngineEquivalence:
+    """The snapshot explorers are drop-in replacements: bit-identical
+    exploration statistics and violations on the seed instances."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [_clean_pair, _with_garbage, _live_routing, _literal_r5],
+        ids=["clean_pair", "garbage", "live_routing", "literal_r5"],
+    )
+    def test_modelcheck_engines_agree(self, factory):
+        results = {
+            eng: ModelChecker(factory, engine=eng).run()
+            for eng in ("deepcopy", "snapshot")
+        }
+        base, snap = results["deepcopy"], results["snapshot"]
+        assert base.states == snap.states
+        assert base.transitions == snap.transitions
+        assert base.terminal_states == snap.terminal_states
+        assert base.truncated == snap.truncated
+        assert base.violations == snap.violations
+
+    @pytest.mark.parametrize("policy,expect_livelock",
+                             [("fifo", False), ("fixed", True)])
+    def test_liveness_engines_agree(self, policy, expect_livelock):
+        # The pressure-harness starvation instance of test_liveness — the
+        # hardest snapshot-fidelity case (subclassed higher layer and
+        # factory, infinite stream in finite state).
+        from tests.test_liveness import make_starvation_instance
+
+        results = {
+            eng: LivenessChecker(
+                make_starvation_instance(policy),
+                max_states=60_000,
+                max_selection_width=4000,
+                ignore_pending={0},
+                engine=eng,
+            ).run()
+            for eng in ("deepcopy", "snapshot")
+        }
+        base, snap = results["deepcopy"], results["snapshot"]
+        assert base.states == snap.states
+        assert base.transitions == snap.transitions
+        assert base.sccs == snap.sccs
+        assert base.truncated == snap.truncated
+        assert [(l.states, l.starved_uids, l.sample_cycle_length)
+                for l in base.livelocks] == \
+               [(l.states, l.starved_uids, l.sample_cycle_length)
+                for l in snap.livelocks]
+        assert bool(snap.livelocks) == expect_livelock

@@ -25,8 +25,11 @@ class Minimal(Protocol):
 
 
 class TestProtocolDefaults:
-    def test_default_snapshot_empty(self):
-        assert Minimal().snapshot() == {}
+    def test_default_dump_empty(self):
+        assert Minimal().dump() == {}
+
+    def test_default_state_vector_empty(self):
+        assert Minimal().snapshot() == ()
 
     def test_default_before_step_noop(self):
         proto = Minimal()
