@@ -1,0 +1,102 @@
+"""Benchmark RUNTIME — the live asyncio runtime.
+
+Two claims, measured on real executions (not the discrete simulators):
+
+* **Throughput** — messages per second of wall clock on clean channels,
+  in-memory queues vs. real loopback TCP sockets.
+* **Conformance under faults** — a seeded 10k-message soak on *both*
+  transports behind the netem adversary (loss + duplication + reordering
+  + latency jitter), judged by the oracle: every generated message
+  delivered exactly once, per-pair FIFO order preserved.
+
+Archived as ``results/RUNTIME.txt`` + ``results/RUNTIME.jsonl`` (the
+JSONL twin is schema-versioned ``repro.obs/v1``).
+"""
+
+from conftest import archive, bench_once
+
+from repro.runtime import ClusterSpec, run_cluster
+from repro.sim.reporting import format_table
+
+SOAK_MESSAGES = 10_000
+SOAK_NETEM = {
+    "loss": 0.02,
+    "dup": 0.02,
+    "reorder": 0.02,
+    "latency": [0.0, 0.001],
+}
+
+
+def _spec(transport, messages, netem=None):
+    return ClusterSpec(
+        topology={"name": "ring", "kwargs": {"n": 8}},
+        messages=messages,
+        seed=42,
+        transport=transport,
+        netem=netem,
+        deadline=240.0,
+        tick=0.002,
+        retry_base=0.03,
+        retry_cap=0.2,
+    )
+
+
+def _row(scenario, result):
+    report = result.report
+    return {
+        "scenario": scenario,
+        "transport": result.spec.transport,
+        "messages": report.generated,
+        "delivered": report.delivered,
+        "duplicates": report.duplicates,
+        "retries": result.counters.get("retries", 0),
+        "netem_events": sum(result.netem_stats.values()),
+        "elapsed_s": round(result.elapsed_s, 2),
+        "throughput_msg_s": round(result.throughput, 0),
+        "verdict": "PASS" if report.ok else "FAIL",
+    }
+
+
+def run_runtime_bench():
+    results = {
+        "clean-local": run_cluster(_spec("local", 2_000)),
+        "clean-tcp": run_cluster(_spec("tcp", 2_000)),
+        "soak-netem-local": run_cluster(
+            _spec("local", SOAK_MESSAGES, netem=SOAK_NETEM)
+        ),
+        "soak-netem-tcp": run_cluster(
+            _spec("tcp", SOAK_MESSAGES, netem=SOAK_NETEM)
+        ),
+    }
+    rows = [_row(name, result) for name, result in results.items()]
+    report = format_table(
+        rows, title="live runtime: throughput and fault-soak conformance"
+    )
+    return report, rows, results
+
+
+def test_bench_runtime(benchmark):
+    report, rows, results = bench_once(benchmark, run_runtime_bench)
+    archive(
+        "RUNTIME",
+        report,
+        rows,
+        meta={
+            "soak_messages": SOAK_MESSAGES,
+            "netem": SOAK_NETEM,
+            "topology": "ring(8)",
+            "seed": 42,
+        },
+    )
+    for name, result in results.items():
+        assert not result.partial, f"{name}: {result.summary()}"
+        assert result.report.duplicates == 0, name
+        assert not result.report.sequence_violations, name
+    for name in ("soak-netem-local", "soak-netem-tcp"):
+        result = results[name]
+        assert result.report.generated == SOAK_MESSAGES, name
+        assert result.report.delivered == SOAK_MESSAGES, name
+        # The adversary must really have perturbed the run.
+        assert result.netem_stats.get("netem_dropped", 0) > 0, name
+        assert result.netem_stats.get("netem_duplicated", 0) > 0, name
+        assert result.counters.get("retries", 0) > 0, name

@@ -10,7 +10,10 @@ Entry points (also available via ``python -m repro``):
   optionally watching one destination component live (``--watch``),
   exporting metrics/lifecycles (``--jsonl``) or printing one message's
   hop-by-hop causal timeline (``--timeline``);
-* ``repro obs summarize|diff`` — inspect and compare JSONL artifacts.
+* ``repro obs summarize|diff`` — inspect and compare JSONL artifacts;
+* ``repro runtime`` — run the protocol *live*: an asyncio cluster over an
+  in-memory or TCP transport, optionally behind seeded fault injection,
+  judged by the conformance oracle (``docs/runtime.md``).
 """
 
 from __future__ import annotations
@@ -95,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument("--max-steps", type=int, default=500_000)
     swp.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan the specs out over N worker processes (default: serial); "
+             "rows are identical to a serial sweep",
+    )
+    swp.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="also write the result table as a JSONL artifact",
     )
@@ -111,6 +119,50 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument(
         "--tolerance", type=float, default=1e-9,
         help="numeric differences at or below this are ignored",
+    )
+
+    run = sub.add_parser(
+        "runtime",
+        help="run a live asyncio cluster and check conformance",
+    )
+    run.add_argument("--topology", default="ring", choices=sorted(_TOPOLOGY_ARGS))
+    run.add_argument("--n", type=int, default=8)
+    run.add_argument("--rows", type=int, default=3)
+    run.add_argument("--cols", type=int, default=3)
+    run.add_argument("--dim", type=int, default=3)
+    run.add_argument("--messages", type=int, default=200)
+    run.add_argument(
+        "--workload", default="uniform", choices=["uniform", "hotspot"]
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--transport", default="local", choices=["local", "tcp"])
+    run.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes (>1 requires --transport tcp)",
+    )
+    run.add_argument(
+        "--port-base", type=int, default=0,
+        help="first TCP port (0 = auto-allocate free ports)",
+    )
+    run.add_argument("--loss", type=float, default=0.0, help="frame loss probability")
+    run.add_argument("--dup", type=float, default=0.0, help="duplication probability")
+    run.add_argument("--reorder", type=float, default=0.0, help="reorder probability")
+    run.add_argument(
+        "--latency-ms", default=None, metavar="LO:HI",
+        help="uniform per-frame latency range in milliseconds",
+    )
+    run.add_argument(
+        "--flap-period", type=float, default=None, metavar="S",
+        help="take one random link down every S seconds",
+    )
+    run.add_argument(
+        "--flap-down", type=float, default=0.05, metavar="S",
+        help="how long a flapped link stays down",
+    )
+    run.add_argument("--deadline", type=float, default=60.0, metavar="S")
+    run.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write run metrics as a repro.obs/v1 JSONL artifact",
     )
 
     simp = sub.add_parser("simulate", help="run one simulation")
@@ -295,10 +347,22 @@ def _cmd_record(args) -> int:
     import json
     import pathlib
 
+    from repro.errors import ReproError
     from repro.sim.recording import record_run
 
-    spec = json.loads(pathlib.Path(args.spec).read_text())
-    record = record_run(spec, max_steps=args.max_steps)
+    try:
+        spec = json.loads(pathlib.Path(args.spec).read_text())
+    except OSError as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.spec} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        record = record_run(spec, max_steps=args.max_steps)
+    except ReproError as exc:
+        print(f"error: spec rejected: {exc}", file=sys.stderr)
+        return 2
     out = args.output or (str(pathlib.Path(args.spec).with_suffix("")) + ".record.json")
     pathlib.Path(out).write_text(record.to_json() + "\n")
     print(f"recorded: {out}")
@@ -308,12 +372,27 @@ def _cmd_record(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    import json
     import pathlib
 
+    from repro.errors import ReproError
     from repro.sim.recording import RunRecord, verify_record
 
-    record = RunRecord.from_json(pathlib.Path(args.record).read_text())
-    problems = verify_record(record)
+    try:
+        record = RunRecord.from_json(pathlib.Path(args.record).read_text())
+    except OSError as exc:
+        print(f"error: cannot read record: {exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(
+            f"error: {args.record} is not a run record: {exc}", file=sys.stderr
+        )
+        return 2
+    try:
+        problems = verify_record(record)
+    except ReproError as exc:
+        print(f"error: record's spec no longer runs: {exc}", file=sys.stderr)
+        return 2
     if problems:
         for problem in problems:
             print(f"MISMATCH {problem}", file=sys.stderr)
@@ -326,22 +405,26 @@ def _cmd_sweep(args) -> int:
     import json
     import pathlib
 
-    from repro.sim.recording import record_run
+    from repro.sim.campaign import run_sweep
+    from repro.sim.recording import sweep_outcome_row
     from repro.sim.reporting import format_table
 
     data = json.loads(pathlib.Path(args.specs).read_text())
     specs = data["specs"] if isinstance(data, dict) else data
-    rows = []
+    labels, configs = [], []
     for i, spec in enumerate(specs):
         spec = dict(spec)
-        label = spec.pop("label", f"spec[{i}]")
-        record = record_run(spec, max_steps=args.max_steps)
+        labels.append(spec.pop("label", f"spec[{i}]"))
+        configs.append({"spec": spec, "max_steps": args.max_steps})
+    results = run_sweep(configs, sweep_outcome_row, workers=args.workers)
+    rows = []
+    for label, outcome in zip(labels, results):
         row = {"label": label}
         row.update(
             {
                 k: v
-                for k, v in record.outcome.items()
-                if k != "rule_counts"
+                for k, v in outcome.items()
+                if k not in ("spec", "max_steps", "elapsed_s")
             }
         )
         rows.append(row)
@@ -355,6 +438,64 @@ def _cmd_sweep(args) -> int:
         )
         print(f"artifact: {args.jsonl}", file=sys.stderr)
     return 0
+
+
+def _cmd_runtime(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.runtime import ClusterSpec, run_cluster
+
+    netem = {
+        "loss": args.loss,
+        "dup": args.dup,
+        "reorder": args.reorder,
+    }
+    if args.latency_ms:
+        try:
+            lo, hi = (float(x) for x in args.latency_ms.split(":"))
+        except ValueError:
+            print(f"error: --latency-ms wants LO:HI, got {args.latency_ms!r}",
+                  file=sys.stderr)
+            return 2
+        netem["latency"] = (lo / 1000.0, hi / 1000.0)
+    if args.flap_period is not None:
+        netem["flap_period"] = args.flap_period
+        netem["flap_down"] = args.flap_down
+    kwargs = {key: getattr(args, key) for key in _TOPOLOGY_ARGS[args.topology]}
+    spec = ClusterSpec(
+        topology={"name": args.topology, "kwargs": kwargs},
+        messages=args.messages,
+        seed=args.seed,
+        transport=args.transport,
+        procs=args.procs,
+        workload=args.workload,
+        netem=netem,
+        deadline=args.deadline,
+        port_base=args.port_base,
+    )
+    try:
+        result = run_cluster(spec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(
+            args.jsonl,
+            result.obs_rows(),
+            name="runtime",
+            meta={
+                "topology": args.topology,
+                "transport": args.transport,
+                "procs": args.procs,
+                "messages": args.messages,
+                "seed": args.seed,
+                "partial": result.partial,
+            },
+        )
+        print(f"artifact: {args.jsonl} ({count} rows)", file=sys.stderr)
+    return 1 if result.partial else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -374,6 +515,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "runtime":
+        return _cmd_runtime(args)
     return _cmd_simulate(args)
 
 

@@ -21,21 +21,35 @@ configurations — garbage already sitting in channels — it does **not**
 (also tested): a forged ACCEPT destroys an original, a forged OFFER
 injects phantom traffic.  That gap is exactly the open problem the paper
 names; the tests make it concrete.
+
+Channels need not be reliable FIFO: :class:`ChannelFaults` turns the
+scheduler into a lossy/duplicating/reordering adversary, under which the
+naive port demonstrably breaks and :class:`HardenedMPForwardingNode`
+(sequence numbers + retransmission + idempotent acknowledgements — the
+same hop discipline :mod:`repro.runtime` runs over real sockets) stays
+exactly-once.
 """
 
 from repro.messagepassing.engine import (
     Channel,
+    ChannelFaults,
     LocalAction,
     MessagePassingSimulator,
     MPNode,
 )
-from repro.messagepassing.forwarding import MPForwardingNode, build_mp_network
+from repro.messagepassing.forwarding import (
+    HardenedMPForwardingNode,
+    MPForwardingNode,
+    build_mp_network,
+)
 
 __all__ = [
     "Channel",
+    "ChannelFaults",
     "LocalAction",
     "MessagePassingSimulator",
     "MPNode",
+    "HardenedMPForwardingNode",
     "MPForwardingNode",
     "build_mp_network",
 ]

@@ -10,9 +10,17 @@ adversarial (seeded) scheduler repeatedly picks either
 
 Handlers send by calling :meth:`MPNode.send`; sends are enqueued on the
 outgoing channel (asynchrony: delivery happens whenever the scheduler gets
-around to it).  Channels are reliable and FIFO — the weakest assumptions
-under which the fault-free port works; lossy/reordering variants would
-only widen the gap the open problem is about.
+around to it).  Channels default to reliable FIFO — the weakest
+assumptions under which the fault-free port works — but the interesting
+adversary is weaker still: :class:`ChannelFaults` makes delivery *lossy*
+(the head is consumed but never handed over), *duplicating* (the head is
+handed over and a copy re-enqueued at the tail) and/or *reordering* (a
+random queue position is delivered instead of the head), all driven by the
+simulator's seeded RNG.  The naive port breaks under these (see the tests);
+the hardened port of :mod:`repro.messagepassing.forwarding` adds sequence
+numbers, retransmission and idempotent acknowledgements — the same
+discipline :mod:`repro.runtime.node` uses over real sockets — and stays
+exactly-once.
 """
 
 from __future__ import annotations
@@ -35,6 +43,34 @@ class LocalAction:
     node: ProcId
     label: str
     effect: Callable[[], None]
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Per-delivery fault probabilities (the channel adversary).
+
+    Applied when the scheduler picks a delivery event: with probability
+    ``reorder`` a random queue position is delivered instead of the FIFO
+    head; with probability ``loss`` the chosen message is consumed but not
+    delivered; with probability ``dup`` a copy of the delivered message is
+    re-enqueued at the tail (to be delivered again later).
+    """
+
+    loss: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "dup", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"fault probability {name}={value} outside [0, 1]"
+                )
+
+    def is_reliable_fifo(self) -> bool:
+        """True iff this configuration never perturbs a delivery."""
+        return self.loss == 0.0 and self.dup == 0.0 and self.reorder == 0.0
 
 
 class Channel:
@@ -83,7 +119,13 @@ class MPNode(ABC):
 class MessagePassingSimulator:
     """Drives nodes and channels under an adversarial seeded scheduler."""
 
-    def __init__(self, net: Network, nodes: List[MPNode], seed: int = 0) -> None:
+    def __init__(
+        self,
+        net: Network,
+        nodes: List[MPNode],
+        seed: int = 0,
+        faults: Optional[ChannelFaults] = None,
+    ) -> None:
         if len(nodes) != net.n:
             raise ConfigurationError(
                 f"need one node per processor: {len(nodes)} != {net.n}"
@@ -91,6 +133,7 @@ class MessagePassingSimulator:
         self.net = net
         self.nodes = nodes
         self._rng = random.Random(seed)
+        self.faults = faults or ChannelFaults()
         self.channels: Dict[Tuple[ProcId, ProcId], Channel] = {}
         for u, v in net.edges:
             self.channels[(u, v)] = Channel(u, v)
@@ -99,6 +142,9 @@ class MessagePassingSimulator:
             node._send = self._enqueue
         self.events = 0
         self.delivered_messages = 0
+        self.lost_messages = 0
+        self.duplicated_messages = 0
+        self.reordered_messages = 0
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -137,13 +183,32 @@ class MessagePassingSimulator:
             return False
         kind, chosen = self._rng.choice(options)
         if kind == "deliver":
-            payload = chosen.queue.popleft()
-            self.delivered_messages += 1
-            self.nodes[chosen.dst].on_message(chosen.src, payload)
+            self._deliver(chosen)
         else:
             chosen.effect()
         self.events += 1
         return True
+
+    def _deliver(self, channel: Channel) -> None:
+        """Deliver one message off a channel, through the fault model."""
+        faults = self.faults
+        rng = self._rng
+        queue = channel.queue
+        if faults.reorder and len(queue) > 1 and rng.random() < faults.reorder:
+            index = rng.randrange(1, len(queue))
+            payload = queue[index]
+            del queue[index]
+            self.reordered_messages += 1
+        else:
+            payload = queue.popleft()
+        if faults.loss and rng.random() < faults.loss:
+            self.lost_messages += 1
+            return
+        if faults.dup and rng.random() < faults.dup:
+            queue.append(payload)
+            self.duplicated_messages += 1
+        self.delivered_messages += 1
+        self.nodes[channel.dst].on_message(channel.src, payload)
 
     def run(
         self,

@@ -26,6 +26,22 @@ ACCEPT already sitting in a channel erases an original that was never
 copied, a forged OFFER injects phantom traffic — and why the
 snap-stabilizing port remains the paper's open problem (the tests
 demonstrate both failures).
+
+Two ports live here:
+
+* :class:`MPForwardingNode` — the *naive* port above, correct only over
+  reliable FIFO channels (a duplicated OFFER double-delivers, a lost
+  ACCEPT deadlocks a lane).
+* :class:`HardenedMPForwardingNode` — the same scheme hardened for
+  :class:`~repro.messagepassing.engine.ChannelFaults`: every hop carries a
+  per-(sender, receiver, destination) lane sequence number, senders keep
+  retransmitting until acknowledged (a ``xmit`` local action the
+  adversarial scheduler plays as the "timeout"), receivers accept only the
+  expected sequence number and re-acknowledge its predecessor
+  idempotently, and the erase is confirmed with a ``RELEASE``/``RACK``
+  second handshake.  This is the same discipline
+  :mod:`repro.runtime.node` speaks over real sockets, so the discrete
+  adversary here and the live netem adversary exercise one protocol.
 """
 
 from __future__ import annotations
@@ -35,14 +51,19 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.ledger import DeliveryLedger
-from repro.messagepassing.engine import LocalAction, MessagePassingSimulator, MPNode
+from repro.messagepassing.engine import (
+    ChannelFaults,
+    LocalAction,
+    MessagePassingSimulator,
+    MPNode,
+)
 from repro.network.graph import Network
 from repro.routing.table import RoutingService
 from repro.statemodel.message import Message
 from repro.types import DestId, ProcId
 
-#: Wire message kinds.
-OFFER, ACCEPT, RELEASE = "OFFER", "ACCEPT", "RELEASE"
+#: Wire message kinds (RACK is used by the hardened port only).
+OFFER, ACCEPT, RELEASE, RACK = "OFFER", "ACCEPT", "RELEASE", "RACK"
 
 
 @dataclass
@@ -54,6 +75,7 @@ class StoredRecord:
     valid: bool
     src: ProcId  # who handed it to us (self for generated)
     released: bool  # the upstream copy has been erased; commit allowed
+    seq: int = -1  # lane sequence number it arrived under (hardened port)
 
     def as_message(self, dest: DestId) -> Message:
         """Bridge to the ledger's message shape."""
@@ -219,15 +241,168 @@ class MPForwardingNode(MPNode):
         )
 
 
+class HardenedMPForwardingNode(MPForwardingNode):
+    """The port hardened for lossy/duplicating/reordering channels.
+
+    Each directed hop lane (sender, receiver, destination) carries a
+    monotonically increasing sequence number.  The receiver accepts an
+    OFFER only at the expected sequence number (and only when ``bufR`` is
+    free — otherwise it stays silent and the sender's retransmission
+    retries later), re-ACCEPTs the immediately preceding number
+    idempotently (the ACCEPT may have been lost), and drops anything
+    older or newer.  The sender retransmits its outstanding frame via the
+    ``xmit`` local action until acknowledged; the erase is confirmed with
+    RELEASE/RACK under the same numbering, so a duplicated or reordered
+    frame can never erase or double-commit a record.  One live copy per
+    hop — R2's guard — survives arbitrary ChannelFaults.
+    """
+
+    def __init__(
+        self,
+        pid: ProcId,
+        net: Network,
+        routing: RoutingService,
+        ledger: DeliveryLedger,
+    ) -> None:
+        super().__init__(pid, net, routing, ledger)
+        #: Next sequence number per outgoing lane (neighbor, destination).
+        self.out_seq: Dict[Tuple[ProcId, DestId], int] = {}
+        #: Expected sequence number per incoming lane (neighbor, destination).
+        self.in_expected: Dict[Tuple[ProcId, DestId], int] = {}
+        #: (phase, neighbor, seq) awaiting ACCEPT ("offer") or RACK ("release").
+        self.outstanding: List[Optional[Tuple[str, ProcId, int]]] = [None] * net.n
+        self.retransmissions = 0
+        self.dup_offers_reacked = 0
+        self.stale_frames_dropped = 0
+
+    # -- wire handlers -----------------------------------------------------------
+
+    def on_message(self, frm: ProcId, payload: Any) -> None:
+        kind, d = payload[0], payload[1]
+        if kind == OFFER:
+            _, _, seq, body, uid, valid = payload
+            expected = self.in_expected.get((frm, d), 1)
+            if seq == expected:
+                if self.buf_r[d] is None:
+                    self.buf_r[d] = StoredRecord(
+                        body, uid, valid, frm, released=False, seq=seq
+                    )
+                    self.in_expected[(frm, d)] = expected + 1
+                    self.send(frm, (ACCEPT, d, seq))
+                # bufR busy: stay silent; the sender's xmit retries later.
+            elif seq == expected - 1:
+                # Already accepted; the ACCEPT must have been lost.
+                self.dup_offers_reacked += 1
+                self.send(frm, (ACCEPT, d, seq))
+            else:
+                self.stale_frames_dropped += 1
+        elif kind == ACCEPT:
+            seq = payload[2]
+            out = self.outstanding[d]
+            if (
+                out is not None
+                and out[0] == "offer"
+                and out[1] == frm
+                and out[2] == seq
+                and self.buf_e[d] is not None
+            ):
+                self.buf_e[d] = None
+                self.outstanding[d] = ("release", frm, seq)
+                self.send(frm, (RELEASE, d, seq))
+            else:
+                self.stale_frames_dropped += 1
+        elif kind == RELEASE:
+            seq = payload[2]
+            if seq < self.in_expected.get((frm, d), 1):
+                # A sequence number we really accepted: RACK idempotently,
+                # and mark the record released if it is still the one held.
+                rec = self.buf_r[d]
+                if (
+                    rec is not None
+                    and not rec.released
+                    and rec.src == frm
+                    and rec.seq == seq
+                ):
+                    rec.released = True
+                self.send(frm, (RACK, d, seq))
+            else:
+                self.stale_frames_dropped += 1
+        elif kind == RACK:
+            seq = payload[2]
+            out = self.outstanding[d]
+            if (
+                out is not None
+                and out[0] == "release"
+                and out[1] == frm
+                and out[2] == seq
+            ):
+                self.outstanding[d] = None
+            else:
+                self.stale_frames_dropped += 1
+        else:  # unknown kinds are dropped (type-correct garbage tolerance)
+            return
+
+    # -- local actions -----------------------------------------------------------
+
+    def local_actions(self) -> List[LocalAction]:
+        actions = super().local_actions()
+        for d in range(self.net.n):
+            if self.outstanding[d] is not None:
+                actions.append(
+                    LocalAction(self.pid, f"xmit({d})", self._make_xmit(d))
+                )
+        return actions
+
+    def _make_offer(self, d: DestId):
+        def effect() -> None:
+            rec = self.buf_e[d]
+            if rec is None or self.outstanding[d] is not None:
+                return
+            nh = self.routing.next_hop(self.pid, d)
+            seq = self.out_seq.get((nh, d), 0) + 1
+            self.out_seq[(nh, d)] = seq
+            self.outstanding[d] = ("offer", nh, seq)
+            self.send(nh, (OFFER, d, seq, rec.payload, rec.uid, rec.valid))
+
+        return effect
+
+    def _make_xmit(self, d: DestId):
+        """Retransmit the outstanding frame for ``d`` (the scheduler plays
+        the timeout — enabled whenever an acknowledgement is pending)."""
+
+        def effect() -> None:
+            out = self.outstanding[d]
+            if out is None:
+                return
+            phase, nbr, seq = out
+            if phase == "offer":
+                rec = self.buf_e[d]
+                if rec is None:
+                    return
+                self.send(nbr, (OFFER, d, seq, rec.payload, rec.uid, rec.valid))
+            else:
+                self.send(nbr, (RELEASE, d, seq))
+            self.retransmissions += 1
+
+        return effect
+
+
 def build_mp_network(
     net: Network,
     routing: RoutingService,
     seed: int = 0,
     ledger: Optional[DeliveryLedger] = None,
+    hardened: bool = False,
+    faults: Optional[ChannelFaults] = None,
 ) -> Tuple[MessagePassingSimulator, List[MPForwardingNode], DeliveryLedger]:
-    """Assemble the message-passing port over a network."""
+    """Assemble the message-passing port over a network.
+
+    ``hardened=True`` builds :class:`HardenedMPForwardingNode` processors;
+    ``faults`` configures the channel adversary of the simulator.
+    """
     ledger = ledger if ledger is not None else DeliveryLedger()
-    nodes = [MPForwardingNode(p, net, routing, ledger) for p in net.processors()]
+    node_cls = HardenedMPForwardingNode if hardened else MPForwardingNode
+    nodes = [node_cls(p, net, routing, ledger) for p in net.processors()]
     counter = {"next": 1}
 
     def next_uid() -> int:
@@ -237,5 +412,5 @@ def build_mp_network(
 
     for node in nodes:
         node._uid_source = next_uid
-    sim = MessagePassingSimulator(net, nodes, seed=seed)
+    sim = MessagePassingSimulator(net, nodes, seed=seed, faults=faults)
     return sim, nodes, ledger

@@ -1,0 +1,529 @@
+"""Cluster orchestration: run N live nodes from any repro topology.
+
+Three execution shapes behind one entry point, :func:`run_cluster`:
+
+* ``transport="local"`` — every node is an asyncio task in this process,
+  frames move through in-memory queues;
+* ``transport="tcp", procs=1`` — same process, but frames cross real
+  loopback sockets with length-prefixed framing;
+* ``transport="tcp", procs=N`` — the nodes are partitioned over ``N``
+  worker *processes* (spawned, so no forked event-loop state), each
+  hosting its share of TCP servers; a shared counter reports delivery
+  progress and a shared event tells everyone to stop.
+
+The cluster drives a :mod:`repro.app.workload` workload, records every
+generate/deliver event for the conformance oracle
+(:mod:`repro.runtime.conformance`), and exports per-hop latency
+histograms, retry counts and in-flight gauges as ``repro.obs/v1`` rows.
+
+Failure modes are first-class: a port already in use, a worker process
+dying mid-run, and KeyboardInterrupt all end the run with a *partial*
+:class:`RuntimeResult` (``partial=True``, errors recorded) instead of a
+hung event loop — the CLI turns that into a summary plus a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.app import workload as workload_mod
+from repro.errors import ConfigurationError
+from repro.network.graph import Network
+from repro.network.topologies import topology_by_name
+from repro.routing.static import StaticRouting
+from repro.runtime.conformance import ConformanceReport, RuntimeEvent, check_events
+from repro.runtime.netem import NetemConfig, NetemTransport
+from repro.runtime.node import RuntimeNode, RuntimeParams
+from repro.runtime.transport import (
+    LocalTransport,
+    TcpTransport,
+    Transport,
+    allocate_ports,
+)
+
+_WORKLOADS = {
+    "uniform": workload_mod.uniform_workload,
+    "hotspot": workload_mod.hotspot_workload,
+    "permutation": workload_mod.permutation_workload,
+    "burst": workload_mod.burst_workload,
+}
+
+
+@dataclass
+class ClusterSpec:
+    """Everything needed to run one live cluster (picklable)."""
+
+    topology: Dict[str, Any]
+    messages: int = 100
+    seed: int = 0
+    transport: str = "local"            #: "local" | "tcp"
+    procs: int = 1                      #: >1 => multi-process (tcp only)
+    workload: str = "uniform"
+    netem: Optional[Dict[str, Any]] = None
+    deadline: float = 60.0              #: hard wall-clock budget (seconds)
+    drain_grace: float = 2.0            #: extra wait for handshakes to settle
+    port_base: int = 0                  #: 0 = auto-allocate free ports
+    tick: float = 0.005
+    retry_base: float = 0.05
+    retry_cap: float = 0.4
+    #: Test hook: (worker_index, seconds) — that worker hard-exits mid-run.
+    kill_worker_after: Optional[Tuple[int, float]] = None
+
+    def build_network(self) -> Network:
+        return topology_by_name(
+            self.topology["name"], **self.topology.get("kwargs", {})
+        )
+
+    def build_params(self) -> RuntimeParams:
+        return RuntimeParams(
+            tick=self.tick, retry_base=self.retry_base, retry_cap=self.retry_cap
+        )
+
+    def build_submissions(self) -> List[Tuple[int, int, Any, int]]:
+        net = self.build_network()
+        if self.workload == "uniform":
+            wl = workload_mod.uniform_workload(net.n, self.messages, seed=self.seed)
+        elif self.workload == "hotspot":
+            per_source = max(1, self.messages // max(net.n - 1, 1))
+            wl = workload_mod.hotspot_workload(
+                net.n, dest=0, per_source=per_source, seed=self.seed
+            )
+        elif self.workload in _WORKLOADS:
+            wl = _WORKLOADS[self.workload](net.n, seed=self.seed)
+        else:
+            raise ConfigurationError(f"unknown workload {self.workload!r}")
+        return list(wl.submissions)
+
+    def build_netem(self) -> Optional[NetemConfig]:
+        if not self.netem:
+            return None
+        config = NetemConfig.from_spec(self.netem)
+        return None if config.is_noop() else config
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of one cluster run (always produced, even on failure)."""
+
+    spec: ClusterSpec
+    report: ConformanceReport
+    events: List[RuntimeEvent] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    transport_stats: Dict[str, int] = field(default_factory=dict)
+    netem_stats: Dict[str, int] = field(default_factory=dict)
+    hop_latencies: List[float] = field(default_factory=list)
+    in_flight_samples: List[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def partial(self) -> bool:
+        """True iff the run ended without full, clean delivery."""
+        return bool(self.errors) or self.interrupted or not self.report.ok
+
+    @property
+    def throughput(self) -> float:
+        """Delivered messages per second of wall clock."""
+        return self.report.delivered / self.elapsed_s if self.elapsed_s else 0.0
+
+    def summary(self) -> str:
+        """Human-readable run summary (printed by the CLI)."""
+        status = "PARTIAL" if self.partial else "OK"
+        lines = [
+            f"runtime [{status}] transport={self.spec.transport} "
+            f"procs={self.spec.procs} elapsed={self.elapsed_s:.2f}s "
+            f"throughput={self.throughput:.0f} msg/s",
+            self.report.summary(),
+        ]
+        if self.counters:
+            lines.append(
+                "counters: "
+                + " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            )
+        if self.transport_stats:
+            lines.append(
+                "transport: "
+                + " ".join(
+                    f"{k}={v}" for k, v in sorted(self.transport_stats.items())
+                )
+            )
+        if self.netem_stats:
+            lines.append(
+                "netem: "
+                + " ".join(f"{k}={v}" for k, v in sorted(self.netem_stats.items()))
+            )
+        for error in self.errors:
+            lines.append(f"error: {error}")
+        if self.interrupted:
+            lines.append("run interrupted — results above are partial")
+        return "\n".join(lines)
+
+    def obs_rows(self) -> List[Dict[str, object]]:
+        """Export the run as ``repro.obs/v1`` metric rows."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for key, value in self.counters.items():
+            registry.counter(f"runtime_{key}").inc(value)
+        for key, value in self.transport_stats.items():
+            registry.counter(f"transport_{key}").inc(value)
+        for key, value in self.netem_stats.items():
+            registry.counter(key).inc(value)
+        hop = registry.histogram("runtime_hop_latency_s")
+        for sample in self.hop_latencies:
+            hop.observe(sample)
+        flight = registry.histogram("runtime_in_flight")
+        for sample in self.in_flight_samples:
+            flight.observe(sample)
+        msg_latency = registry.histogram("runtime_msg_latency_s")
+        generated_at: Dict[int, float] = {}
+        for event in self.events:
+            if event.kind == "generated":
+                generated_at[event.uid] = event.t
+            elif event.kind == "delivered" and event.uid in generated_at:
+                msg_latency.observe(max(0.0, event.t - generated_at[event.uid]))
+        registry.gauge("runtime_partial").set(1 if self.partial else 0)
+        registry.gauge("runtime_elapsed_s").set(round(self.elapsed_s, 3))
+        registry.gauge("runtime_throughput_msgs").set(round(self.throughput, 1))
+        return registry.rows()
+
+
+# -- in-process execution ------------------------------------------------------
+
+
+def _merge_counts(into: Dict[str, int], add: Dict[str, int]) -> None:
+    for key, value in add.items():
+        into[key] = into.get(key, 0) + value
+
+
+def _build_transport(
+    spec: ClusterSpec,
+    net: Network,
+    local_pids: Optional[Tuple[int, ...]] = None,
+    ports: Optional[Dict[int, Tuple[str, int]]] = None,
+    netem_seed: int = 0,
+) -> Transport:
+    if spec.transport == "local":
+        base: Transport = LocalTransport(net)
+    elif spec.transport == "tcp":
+        ports = ports or allocate_ports(net, base=spec.port_base)
+        base = TcpTransport(net, ports, local_pids=local_pids)
+    else:
+        raise ConfigurationError(f"unknown transport {spec.transport!r}")
+    netem = spec.build_netem()
+    if netem is not None:
+        return NetemTransport(base, netem, seed=spec.seed + netem_seed)
+    return base
+
+
+class _Progress:
+    """Delivery progress shared between nodes and the monitor loop."""
+
+    __slots__ = ("delivered",)
+
+    def __init__(self) -> None:
+        self.delivered = 0
+
+    def __call__(self) -> None:
+        self.delivered += 1
+
+
+async def _run_nodes(
+    spec: ClusterSpec,
+    net: Network,
+    transport: Transport,
+    submissions: List[Tuple[int, int, Any, int]],
+    holder: Dict[str, Any],
+    target: int,
+    progress: _Progress,
+    stop_check=None,
+) -> None:
+    """Host a set of nodes until the workload drains, the deadline passes,
+    or ``stop_check`` fires.  ``holder`` keeps the live objects reachable
+    for partial-result assembly even if this coroutine dies."""
+    params = spec.build_params()
+    routing = StaticRouting(net)
+    local_pids = getattr(transport, "local_pids", None)
+    pids = list(local_pids) if local_pids is not None else list(net.processors())
+    nodes = [RuntimeNode(p, net, routing, transport, params) for p in pids]
+    for node in nodes:
+        node._delivered_hook = progress
+    holder["nodes"] = nodes
+    holder["transport"] = transport
+    await transport.start()
+    holder["started"] = True
+    by_pid = {node.pid: node for node in nodes}
+    for _, src, payload, dest in submissions:
+        if src in by_pid:
+            by_pid[src].submit(payload, dest)
+    tasks = [asyncio.get_running_loop().create_task(node.run()) for node in nodes]
+    holder["tasks"] = tasks
+    started = time.monotonic()
+    deadline = started + spec.deadline
+    try:
+        while time.monotonic() < deadline:
+            if stop_check is not None and stop_check():
+                break
+            if progress.delivered >= target and target >= 0:
+                break
+            for task in tasks:
+                if task.done() and task.exception() is not None:
+                    raise task.exception()  # a node crashed: abort the run
+            holder.setdefault("in_flight", []).append(
+                sum(node.in_flight() for node in nodes)
+            )
+            await asyncio.sleep(0.02)
+        # Grace period: let REL/RACK handshakes settle so the network is
+        # actually empty, not merely delivered.
+        grace_end = min(time.monotonic() + spec.drain_grace, deadline)
+        while time.monotonic() < grace_end:
+            if all(node.is_idle() for node in nodes):
+                break
+            await asyncio.sleep(0.02)
+    finally:
+        for node in nodes:
+            node.stop()
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        await transport.close()
+
+
+def _collect_inprocess(
+    spec: ClusterSpec, holder: Dict[str, Any], result: RuntimeResult
+) -> None:
+    nodes = holder.get("nodes", [])
+    for node in nodes:
+        result.events.extend(node.events)
+        _merge_counts(result.counters, node.counters)
+        result.hop_latencies.extend(node.hop_latencies)
+    transport = holder.get("transport")
+    if transport is not None:
+        _merge_counts(result.transport_stats, transport.stats)
+        if isinstance(transport, NetemTransport):
+            _merge_counts(result.netem_stats, transport.fault_stats)
+            _merge_counts(result.transport_stats, transport.base.stats)
+    result.in_flight_samples = holder.get("in_flight", [])
+
+
+# -- multi-process execution ---------------------------------------------------
+
+
+def _worker_main(worker_args: Dict[str, Any], stop_event, delivered, result_q) -> None:
+    """Entry point of one spawned worker: host a node subset over TCP."""
+    spec: ClusterSpec = worker_args["spec"]
+    pids: Tuple[int, ...] = tuple(worker_args["pids"])
+    ports = worker_args["ports"]
+    submissions = worker_args["submissions"]
+    index = worker_args["index"]
+    net = spec.build_network()
+
+    class _SharedProgress(_Progress):
+        def __call__(self) -> None:
+            self.delivered += 1
+            with delivered.get_lock():
+                delivered.value += 1
+
+    progress = _SharedProgress()
+    holder: Dict[str, Any] = {}
+    error: Optional[str] = None
+
+    async def body() -> None:
+        transport = _build_transport(
+            spec, net, local_pids=pids, ports=ports, netem_seed=1000 * (index + 1)
+        )
+        if spec.kill_worker_after is not None and spec.kill_worker_after[0] == index:
+            asyncio.get_running_loop().call_later(
+                spec.kill_worker_after[1], os._exit, 3
+            )
+        await _run_nodes(
+            spec, net, transport, submissions, holder,
+            target=-1,  # workers never know the global target ...
+            progress=progress,
+            stop_check=stop_event.is_set,  # ... the parent tells them to stop
+        )
+
+    try:
+        asyncio.run(body())
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        error = f"{type(exc).__name__}: {exc}"
+    payload: Dict[str, Any] = {
+        "index": index,
+        "pids": pids,
+        "error": error,
+        "events": [],
+        "counters": {},
+        "transport_stats": {},
+        "netem_stats": {},
+        "hop_latencies": [],
+        "in_flight": holder.get("in_flight", []),
+    }
+    for node in holder.get("nodes", []):
+        payload["events"].extend(node.events)
+        _merge_counts(payload["counters"], node.counters)
+        payload["hop_latencies"].extend(node.hop_latencies)
+    transport = holder.get("transport")
+    if transport is not None:
+        _merge_counts(payload["transport_stats"], transport.stats)
+        if isinstance(transport, NetemTransport):
+            _merge_counts(payload["netem_stats"], transport.fault_stats)
+            _merge_counts(payload["transport_stats"], transport.base.stats)
+    try:
+        result_q.put(payload)
+    except Exception:  # noqa: BLE001 - parent may already be gone
+        pass
+
+
+def _run_multiprocess(spec: ClusterSpec, result: RuntimeResult) -> None:
+    import multiprocessing as mp
+
+    net = spec.build_network()
+    if spec.procs > net.n:
+        raise ConfigurationError(
+            f"more worker processes ({spec.procs}) than nodes ({net.n})"
+        )
+    submissions = spec.build_submissions()
+    target = len(submissions)
+    ports = allocate_ports(net, base=spec.port_base)
+    groups: List[List[int]] = [[] for _ in range(spec.procs)]
+    for pid in net.processors():
+        groups[pid % spec.procs].append(pid)
+    ctx = mp.get_context("spawn")
+    stop_event = ctx.Event()
+    delivered = ctx.Value("i", 0)
+    result_q = ctx.Queue()
+    workers = []
+    for index, pids in enumerate(groups):
+        worker_args = {
+            "spec": spec,
+            "pids": tuple(pids),
+            "ports": ports,
+            "submissions": [s for s in submissions if s[1] in set(pids)],
+            "index": index,
+        }
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(worker_args, stop_event, delivered, result_q),
+            daemon=True,
+        )
+        proc.start()
+        workers.append(proc)
+    started = time.monotonic()
+    deadline = started + spec.deadline
+    try:
+        while time.monotonic() < deadline:
+            if delivered.value >= target:
+                break
+            dead = [
+                (i, p.exitcode)
+                for i, p in enumerate(workers)
+                if p.exitcode is not None and p.exitcode != 0
+            ]
+            if dead:
+                for index, code in dead:
+                    result.errors.append(
+                        f"worker {index} (pids {groups[index]}) died "
+                        f"with exit code {code}"
+                    )
+                break
+            time.sleep(0.05)
+        else:
+            result.errors.append(
+                f"deadline of {spec.deadline}s reached with "
+                f"{delivered.value}/{target} deliveries"
+            )
+    except KeyboardInterrupt:
+        result.interrupted = True
+    finally:
+        # Drain grace, then stop everyone and harvest whatever exists.
+        if not result.errors and not result.interrupted:
+            time.sleep(min(spec.drain_grace, max(0.0, deadline - time.monotonic())))
+        stop_event.set()
+        harvested = 0
+        harvest_deadline = time.monotonic() + 10.0
+        while harvested < len(workers) and time.monotonic() < harvest_deadline:
+            try:
+                payload = result_q.get(timeout=0.25)
+            except Exception:  # noqa: BLE001 - queue.Empty and EOF alike
+                if all(p.exitcode is not None for p in workers):
+                    break
+                continue
+            harvested += 1
+            if payload.get("error"):
+                result.errors.append(
+                    f"worker {payload['index']}: {payload['error']}"
+                )
+            result.events.extend(payload["events"])
+            _merge_counts(result.counters, payload["counters"])
+            _merge_counts(result.transport_stats, payload["transport_stats"])
+            _merge_counts(result.netem_stats, payload["netem_stats"])
+            result.hop_latencies.extend(payload["hop_latencies"])
+            result.in_flight_samples.extend(payload["in_flight"])
+        for proc in workers:
+            proc.join(timeout=2.0)
+        for index, proc in enumerate(workers):
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+                result.errors.append(f"worker {index} had to be terminated")
+        if harvested < len(workers):
+            missing = len(workers) - harvested
+            result.errors.append(
+                f"{missing} worker(s) returned no results — counts are partial"
+            )
+    result.report = check_events(result.events, expect_generated=target)
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def run_cluster(spec: ClusterSpec) -> RuntimeResult:
+    """Run one live cluster to completion (or graceful failure).
+
+    Never hangs and never loses the partial picture: startup failures
+    (e.g. a TCP port already in use), node crashes, dead worker processes,
+    deadline exhaustion and KeyboardInterrupt all come back as a
+    :class:`RuntimeResult` with ``partial=True`` and the errors listed.
+    """
+    if spec.procs > 1 and spec.transport != "tcp":
+        raise ConfigurationError("multi-process clusters require transport='tcp'")
+    if spec.procs < 1:
+        raise ConfigurationError("procs must be >= 1")
+    started = time.monotonic()
+    result = RuntimeResult(spec=spec, report=ConformanceReport())
+    if spec.procs > 1:
+        _run_multiprocess(spec, result)
+        result.elapsed_s = time.monotonic() - started
+        return result
+
+    net = spec.build_network()
+    submissions = spec.build_submissions()
+    target = len(submissions)
+    holder: Dict[str, Any] = {}
+    progress = _Progress()
+    try:
+        transport = _build_transport(spec, net)
+        asyncio.run(
+            _run_nodes(spec, net, transport, submissions, holder, target, progress)
+        )
+    except KeyboardInterrupt:
+        result.interrupted = True
+    except OSError as exc:
+        result.errors.append(f"transport start failed: {exc}")
+    except ConfigurationError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - a node crash must not hang
+        result.errors.append(f"{type(exc).__name__}: {exc}")
+    result.elapsed_s = time.monotonic() - started
+    _collect_inprocess(spec, holder, result)
+    result.report = check_events(result.events, expect_generated=target)
+    return result

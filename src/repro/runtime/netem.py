@@ -1,0 +1,190 @@
+"""Network emulation: a fault-injecting transport decorator.
+
+:class:`NetemTransport` wraps any :class:`~repro.runtime.transport.Transport`
+and perturbs its ``send`` path with seeded faults — the live-runtime
+counterpart of the state model's adversarial daemon:
+
+* **latency** — every frame is delayed by a uniform draw from
+  ``latency=(lo, hi)`` seconds; unequal delays reorder frames naturally;
+* **loss** — a frame is dropped with probability ``loss``;
+* **duplication** — with probability ``dup`` a frame is delivered twice,
+  each copy with an independent delay;
+* **reordering** — with probability ``reorder`` a frame is additionally
+  held for ``reorder_extra`` seconds, pushing it behind later traffic;
+* **link flaps** — every ``flap_period`` seconds one random edge goes down
+  for ``flap_down`` seconds (frames on a down edge are dropped);
+* **partitions** — ``blocked_edges`` silences a static set of undirected
+  edges for the whole run.
+
+All randomness comes from one ``random.Random(seed)``, so a scenario is
+reproducible up to asyncio scheduling.  The hop protocol of
+:mod:`repro.runtime.node` must deliver exactly once *despite* all of the
+above — that is precisely what the conformance harness checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.runtime.transport import Transport
+from repro.types import Edge, ProcId, normalized_edge
+
+
+@dataclass(frozen=True)
+class NetemConfig:
+    """Fault-injection knobs (all off by default)."""
+
+    loss: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    latency: Tuple[float, float] = (0.0, 0.0)
+    reorder_extra: float = 0.01
+    flap_period: Optional[float] = None
+    flap_down: float = 0.05
+    blocked_edges: FrozenSet[Edge] = field(default_factory=frozenset)
+
+    def is_noop(self) -> bool:
+        """True iff this configuration perturbs nothing."""
+        return (
+            self.loss == 0.0
+            and self.dup == 0.0
+            and self.reorder == 0.0
+            and self.latency == (0.0, 0.0)
+            and self.flap_period is None
+            and not self.blocked_edges
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "NetemConfig":
+        """Build from a plain dict (CLI / JSON spec form)."""
+        kwargs: Dict[str, Any] = {}
+        for key in ("loss", "dup", "reorder", "reorder_extra", "flap_down"):
+            if key in spec:
+                kwargs[key] = float(spec[key])
+        if "latency" in spec:
+            lo, hi = spec["latency"]
+            kwargs["latency"] = (float(lo), float(hi))
+        if spec.get("flap_period") is not None:
+            kwargs["flap_period"] = float(spec["flap_period"])
+        if "blocked_edges" in spec:
+            kwargs["blocked_edges"] = frozenset(
+                normalized_edge(int(u), int(v)) for u, v in spec["blocked_edges"]
+            )
+        return cls(**kwargs)
+
+
+class NetemTransport(Transport):
+    """Decorates a transport with seeded fault injection.
+
+    The decorator shares the wrapped transport's network and inbox
+    registry, so nodes bind to the *decorator* and never see the base.
+    """
+
+    def __init__(self, base: Transport, config: NetemConfig, seed: int = 0) -> None:
+        super().__init__(base.net)
+        self.base = base
+        self.config = config
+        self._rng = random.Random(seed)
+        self._down: Set[Edge] = set(config.blocked_edges)
+        self._pending: Set["asyncio.Task"] = set()
+        self._flap_task: Optional["asyncio.Task"] = None
+        self._closing = False
+        #: Fault accounting, exported next to the base transport's stats.
+        self.fault_stats: Dict[str, int] = {
+            "netem_dropped": 0,
+            "netem_duplicated": 0,
+            "netem_reordered": 0,
+            "netem_flaps": 0,
+        }
+
+    # Nodes bind to the decorator; forward inboxes to the base so its
+    # receive path (TCP servers) can still dispatch.
+    def bind(self, pid: ProcId, inbox) -> None:  # type: ignore[override]
+        super().bind(pid, inbox)
+        self.base.bind(pid, inbox)
+
+    async def start(self) -> None:
+        await self.base.start()
+        if self.config.flap_period is not None:
+            self._flap_task = asyncio.get_running_loop().create_task(self._flap())
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._flap_task is not None:
+            self._flap_task.cancel()
+            try:
+                await self._flap_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        for task in list(self._pending):
+            task.cancel()
+        for task in list(self._pending):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._pending.clear()
+        await self.base.close()
+
+    # -- fault pipeline ------------------------------------------------------
+
+    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+        self._check_edge(src, dst)
+        cfg = self.config
+        rng = self._rng
+        if normalized_edge(src, dst) in self._down:
+            self.fault_stats["netem_dropped"] += 1
+            return
+        if cfg.loss and rng.random() < cfg.loss:
+            self.fault_stats["netem_dropped"] += 1
+            return
+        copies = 1
+        if cfg.dup and rng.random() < cfg.dup:
+            copies = 2
+            self.fault_stats["netem_duplicated"] += 1
+        for _ in range(copies):
+            delay = rng.uniform(*cfg.latency) if cfg.latency != (0.0, 0.0) else 0.0
+            if cfg.reorder and rng.random() < cfg.reorder:
+                delay += cfg.reorder_extra
+                self.fault_stats["netem_reordered"] += 1
+            if delay <= 0.0:
+                await self.base.send(src, dst, msg)
+            else:
+                task = asyncio.get_running_loop().create_task(
+                    self._deliver_later(delay, src, dst, msg)
+                )
+                self._pending.add(task)
+                task.add_done_callback(self._pending.discard)
+
+    async def _deliver_later(
+        self, delay: float, src: ProcId, dst: ProcId, msg: Dict[str, Any]
+    ) -> None:
+        try:
+            await asyncio.sleep(delay)
+            if not self._closing:
+                await self.base.send(src, dst, msg)
+        except asyncio.CancelledError:
+            pass
+
+    async def _flap(self) -> None:
+        """Every ``flap_period`` seconds take one random (non-statically-
+        blocked) edge down for ``flap_down`` seconds."""
+        cfg = self.config
+        try:
+            while True:
+                await asyncio.sleep(cfg.flap_period)  # type: ignore[arg-type]
+                candidates = [
+                    e for e in self.net.edges if e not in cfg.blocked_edges
+                ]
+                if not candidates:
+                    continue
+                edge = self._rng.choice(candidates)
+                self._down.add(edge)
+                self.fault_stats["netem_flaps"] += 1
+                await asyncio.sleep(cfg.flap_down)
+                self._down.discard(edge)
+        except asyncio.CancelledError:
+            pass

@@ -1,0 +1,380 @@
+"""A live SSMFP node: the per-(processor, destination) rules on an event loop.
+
+:class:`RuntimeNode` ports the two-buffer forwarding scheme (the state
+model's rules R1-R6, via the message-passing translation of
+:mod:`repro.messagepassing.forwarding`) onto asyncio, hardened for *real*
+channels that may drop, duplicate, delay and reorder frames:
+
+===========  ================================================================
+state model  live runtime
+===========  ================================================================
+R1           ``generate(d)``: the head of the per-destination outbox enters
+             the free reception buffer ``buf_r[d]`` (born released)
+R2           ``commit(d)``: a *released* ``buf_r[d]`` moves to the free
+             emission buffer ``buf_e[d]``
+R3           ``DATA(d, seq, ...)`` to the next hop, retransmitted on a
+             capped-exponential timer until the matching ``ACK`` arrives;
+             the receiver accepts into ``buf_r[d]`` only the *expected*
+             lane sequence number (stop-and-wait + dedup), re-ACKs the
+             previous one (lost-ACK recovery), drops everything else
+R4           on the ``ACK`` the sender erases ``buf_e[d]`` and emits
+             ``REL``, retransmitted until the matching ``RACK``
+R2's guard   the receiver marks ``buf_r[d]`` released only when the ``REL``
+             arrives (so at most one live copy per hop, as in the paper)
+R6           ``deliver()``: at the destination, ``buf_e[pid]`` is consumed
+             and a delivery event is appended to the conformance log
+===========  ================================================================
+
+The sequence-number discipline is what upgrades best-effort transports to
+exactly-once: a retransmitted or transport-duplicated ``DATA`` carries an
+already-consumed ``seq`` and is answered with a (harmless, idempotent)
+``ACK`` instead of a second acceptance.  The conformance harness
+(:mod:`repro.runtime.conformance`) re-checks that claim from the event log
+of every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.network.graph import Network
+from repro.routing.table import RoutingService
+from repro.runtime.conformance import RuntimeEvent
+from repro.runtime.transport import InboxItem, Transport
+from repro.runtime.wire import (
+    ACK,
+    DATA,
+    RACK,
+    REL,
+    ack_msg,
+    data_msg,
+    kind_of,
+    rack_msg,
+    rel_msg,
+)
+from repro.types import DestId, ProcId
+
+
+@dataclass
+class RuntimeParams:
+    """Timers of the hop protocol (seconds)."""
+
+    tick: float = 0.01          #: event-loop heartbeat / stop-poll period
+    retry_base: float = 0.05    #: first retransmit timeout
+    retry_cap: float = 0.4      #: retransmit timeout ceiling
+    max_attempts: int = 0       #: 0 = retry forever (drain deadline bounds it)
+
+
+@dataclass
+class RuntimeRecord:
+    """One stored message (uid preserved across hops, as in the model)."""
+
+    payload: Any
+    uid: int
+    valid: bool
+    src: ProcId     #: who handed it to us (self for generated)
+    seq: int        #: lane sequence it arrived under (-1 for generated)
+    released: bool  #: the upstream copy is erased; commit allowed
+
+
+#: Lane phases: awaiting the ACK for a DATA, or the RACK for a REL.
+_DATA_WAIT, _REL_WAIT = "data", "rel"
+
+
+@dataclass
+class _Lane:
+    """Outstanding hop transfer for one destination (stop-and-wait)."""
+
+    nbr: ProcId
+    seq: int
+    phase: str
+    frame: Dict[str, Any]
+    first_sent: float
+    last_sent: float
+    attempts: int = 0
+
+
+class RuntimeNode:
+    """One live processor: protocol state, an inbox, and a run loop."""
+
+    def __init__(
+        self,
+        pid: ProcId,
+        net: Network,
+        routing: RoutingService,
+        transport: Transport,
+        params: Optional[RuntimeParams] = None,
+    ) -> None:
+        self.pid = pid
+        self.net = net
+        self.routing = routing
+        self.transport = transport
+        self.params = params or RuntimeParams()
+        n = net.n
+        self.buf_r: List[Optional[RuntimeRecord]] = [None] * n
+        self.buf_e: List[Optional[RuntimeRecord]] = [None] * n
+        self.outbox: List[Deque[Tuple[Any, DestId]]] = [deque() for _ in range(n)]
+        self._lanes: Dict[DestId, _Lane] = {}
+        self._out_seq: Dict[Tuple[ProcId, DestId], int] = {}
+        self._in_expected: Dict[Tuple[ProcId, DestId], int] = {}
+        self.inbox: "asyncio.Queue[InboxItem]" = asyncio.Queue()
+        transport.bind(pid, self.inbox)
+        #: Conformance event log (generated / delivered), in node order.
+        self.events: List[RuntimeEvent] = []
+        self._event_order = 0
+        self._next_uid = pid + 1  # stride n keeps uids globally unique
+        self._stopping = False
+        #: Plain counters; the cluster publishes them into the obs registry.
+        self.counters: Dict[str, int] = {
+            "generated": 0,
+            "delivered": 0,
+            "retries": 0,
+            "frames_out": 0,
+            "dup_data_acked": 0,
+            "stale_frames_dropped": 0,
+        }
+        #: Hop round-trip latencies (DATA first sent -> ACK), seconds.
+        self.hop_latencies: List[float] = []
+        self._delivered_hook = None  # cluster progress callback
+
+    # -- application interface -----------------------------------------------
+
+    def submit(self, payload: Any, dest: DestId) -> None:
+        """Queue an application send (FIFO per destination)."""
+        if dest == self.pid:
+            raise ValueError("self-addressed messages never enter the network")
+        self.outbox[dest].append((payload, dest))
+
+    def stop(self) -> None:
+        """Ask the run loop to exit at the next heartbeat."""
+        self._stopping = True
+
+    def is_idle(self) -> bool:
+        """True iff no buffer, outbox, lane or inbox item holds anything."""
+        return (
+            all(r is None for r in self.buf_r)
+            and all(e is None for e in self.buf_e)
+            and all(not q for q in self.outbox)
+            and not self._lanes
+            and self.inbox.empty()
+        )
+
+    def in_flight(self) -> int:
+        """Lanes currently awaiting an ACK or RACK."""
+        return len(self._lanes)
+
+    # -- run loop ------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Drive the node until :meth:`stop`: handle inbound frames, fire
+        local rules, retransmit on timeout."""
+        tick = self.params.tick
+        out: List[Tuple[ProcId, Dict[str, Any]]] = []
+        try:
+            while not self._stopping:
+                self._advance(out)
+                await self._flush(out)
+                try:
+                    src, msg = await asyncio.wait_for(self.inbox.get(), tick)
+                except asyncio.TimeoutError:
+                    continue
+                self._handle(src, msg, out)
+                # Drain the burst that arrived while we slept.
+                while True:
+                    try:
+                        src, msg = self.inbox.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    self._handle(src, msg, out)
+        except asyncio.CancelledError:
+            pass
+
+    async def _flush(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
+        if not out:
+            return
+        for dst, msg in out:
+            self.counters["frames_out"] += 1
+            await self.transport.send(self.pid, dst, msg)
+        out.clear()
+
+    # -- wire handlers ---------------------------------------------------------
+
+    def _handle(
+        self, src: ProcId, msg: Dict[str, Any],
+        out: List[Tuple[ProcId, Dict[str, Any]]],
+    ) -> None:
+        kind = kind_of(msg)
+        if kind is None:
+            self.counters["stale_frames_dropped"] += 1
+            return
+        try:
+            d = int(msg["d"])
+            seq = int(msg["s"])
+        except (KeyError, TypeError, ValueError):
+            self.counters["stale_frames_dropped"] += 1
+            return
+        if not 0 <= d < self.net.n:
+            self.counters["stale_frames_dropped"] += 1
+            return
+        if kind == DATA:
+            self._on_data(src, d, seq, msg, out)
+        elif kind == ACK:
+            self._on_ack(src, d, seq, out)
+        elif kind == REL:
+            self._on_rel(src, d, seq, out)
+        else:  # RACK
+            self._on_rack(src, d, seq)
+
+    def _on_data(
+        self, src: ProcId, d: DestId, seq: int, msg: Dict[str, Any],
+        out: List[Tuple[ProcId, Dict[str, Any]]],
+    ) -> None:
+        expected = self._in_expected.get((src, d), 1)
+        if seq == expected:
+            if self.buf_r[d] is None:
+                self.buf_r[d] = RuntimeRecord(
+                    payload=msg.get("p"),
+                    uid=int(msg.get("u", 0)),
+                    valid=bool(msg.get("v", False)),
+                    src=src,
+                    seq=seq,
+                    released=False,
+                )
+                self._in_expected[(src, d)] = expected + 1
+                out.append((src, ack_msg(d, seq)))
+            # else: buffer busy — stay silent, the sender's timer retries.
+        elif seq == expected - 1:
+            # Retransmission (or transport duplicate) of the accepted
+            # message: the acceptance already happened, re-ACK idempotently.
+            self.counters["dup_data_acked"] += 1
+            out.append((src, ack_msg(d, seq)))
+        else:
+            self.counters["stale_frames_dropped"] += 1
+
+    def _on_ack(
+        self, src: ProcId, d: DestId, seq: int,
+        out: List[Tuple[ProcId, Dict[str, Any]]],
+    ) -> None:
+        lane = self._lanes.get(d)
+        if (
+            lane is None
+            or lane.phase != _DATA_WAIT
+            or lane.nbr != src
+            or lane.seq != seq
+        ):
+            return  # duplicate/stale ACK
+        self.hop_latencies.append(time.monotonic() - lane.first_sent)
+        self.buf_e[d] = None  # R4: erase our copy
+        now = time.monotonic()
+        lane.phase = _REL_WAIT
+        lane.frame = rel_msg(d, seq)
+        lane.first_sent = now
+        lane.last_sent = now
+        lane.attempts = 0
+        out.append((src, lane.frame))
+
+    def _on_rel(
+        self, src: ProcId, d: DestId, seq: int,
+        out: List[Tuple[ProcId, Dict[str, Any]]],
+    ) -> None:
+        if seq >= self._in_expected.get((src, d), 1):
+            self.counters["stale_frames_dropped"] += 1
+            return  # REL for a DATA we never accepted: forged or reordered
+        rec = self.buf_r[d]
+        if rec is not None and rec.src == src and rec.seq == seq:
+            rec.released = True
+        # Idempotent: a REL for an already-committed record still RACKs.
+        out.append((src, rack_msg(d, seq)))
+
+    def _on_rack(self, src: ProcId, d: DestId, seq: int) -> None:
+        lane = self._lanes.get(d)
+        if (
+            lane is not None
+            and lane.phase == _REL_WAIT
+            and lane.nbr == src
+            and lane.seq == seq
+        ):
+            del self._lanes[d]  # lane free: next message may go out
+
+    # -- local rules -----------------------------------------------------------
+
+    def _advance(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
+        now = time.monotonic()
+        for d in range(self.net.n):
+            rec = self.buf_r[d]
+            # R1: generate into a free reception buffer (born released).
+            if rec is None and self.outbox[d]:
+                payload, _ = self.outbox[d].popleft()
+                uid = self._next_uid
+                self._next_uid += self.net.n
+                rec = self.buf_r[d] = RuntimeRecord(
+                    payload=payload, uid=uid, valid=True,
+                    src=self.pid, seq=-1, released=True,
+                )
+                self.counters["generated"] += 1
+                self._append_event("generated", uid, dest=d)
+            # R2: commit a released reception buffer to a free emission one.
+            if rec is not None and rec.released and self.buf_e[d] is None:
+                self.buf_e[d] = rec
+                self.buf_r[d] = None
+            held = self.buf_e[d]
+            if held is None:
+                continue
+            if d == self.pid:
+                # R6: consume at the destination.
+                self.buf_e[d] = None
+                self.counters["delivered"] += 1
+                self._append_event("delivered", held.uid, dest=d, valid=held.valid)
+                if self._delivered_hook is not None:
+                    self._delivered_hook()
+            elif d not in self._lanes:
+                # R3: offer to the next hop, stop-and-wait per destination.
+                nbr = self.routing.next_hop(self.pid, d)
+                seq = self._out_seq.get((nbr, d), 1)
+                self._out_seq[(nbr, d)] = seq + 1
+                frame = data_msg(d, seq, held.uid, held.payload, held.valid)
+                self._lanes[d] = _Lane(
+                    nbr=nbr, seq=seq, phase=_DATA_WAIT, frame=frame,
+                    first_sent=now, last_sent=now,
+                )
+                out.append((nbr, frame))
+        self._retransmit(now, out)
+
+    def _retransmit(
+        self, now: float, out: List[Tuple[ProcId, Dict[str, Any]]]
+    ) -> None:
+        params = self.params
+        for lane in self._lanes.values():
+            timeout = min(
+                params.retry_base * (2 ** lane.attempts), params.retry_cap
+            )
+            if now - lane.last_sent < timeout:
+                continue
+            if params.max_attempts and lane.attempts >= params.max_attempts:
+                continue
+            lane.last_sent = now
+            lane.attempts += 1
+            self.counters["retries"] += 1
+            out.append((lane.nbr, lane.frame))
+
+    # -- events ----------------------------------------------------------------
+
+    def _append_event(
+        self, kind: str, uid: int, dest: DestId, valid: bool = True
+    ) -> None:
+        self.events.append(
+            RuntimeEvent(
+                kind=kind,
+                uid=uid,
+                node=self.pid,
+                dest=dest,
+                valid=valid,
+                t=time.time(),
+                order=self._event_order,
+            )
+        )
+        self._event_order += 1

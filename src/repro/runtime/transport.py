@@ -1,0 +1,294 @@
+"""Pluggable transports for the live runtime.
+
+A :class:`Transport` moves encoded frames (:mod:`repro.runtime.wire`)
+between nodes along the edges of a :class:`~repro.network.graph.Network`.
+Delivery is **best-effort**: a transport may drop, duplicate, delay or
+reorder frames (the in-memory one does none of that by itself; the netem
+decorator and real TCP both do).  End-to-end guarantees are the node
+protocol's job — hop-level ack/retry plus sequence-number deduplication
+(:mod:`repro.runtime.node`).
+
+Two implementations:
+
+* :class:`LocalTransport` — per-node asyncio queues.  Frames still go
+  through an encode/decode round-trip so serialization bugs surface
+  identically on either transport.
+* :class:`TcpTransport` — real sockets on the loopback (or any) interface:
+  one listening server per locally hosted node, one lazily opened
+  connection per *directed edge*, length-prefixed framing, and reconnect
+  with capped exponential backoff.  A peer that is down does not block the
+  sender: frames queue on the edge (bounded; overflow drops the oldest)
+  and a per-edge pump task drains them as soon as the connection is back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Network
+from repro.runtime.wire import decode_body, encode_frame, split_frames
+from repro.types import ProcId
+
+#: One inbox item: (sender pid, decoded hop message).
+InboxItem = Tuple[ProcId, Dict[str, Any]]
+
+
+class Transport(ABC):
+    """Moves hop messages between nodes along network edges."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self._inboxes: Dict[ProcId, "asyncio.Queue[InboxItem]"] = {}
+        #: Plain counters (exported into the obs registry by the cluster).
+        self.stats: Dict[str, int] = {
+            "frames_sent": 0,
+            "frames_received": 0,
+            "frames_dropped": 0,
+            "reconnects": 0,
+        }
+
+    def bind(self, pid: ProcId, inbox: "asyncio.Queue[InboxItem]") -> None:
+        """Attach the inbox of a locally hosted node."""
+        self._inboxes[pid] = inbox
+
+    def _check_edge(self, src: ProcId, dst: ProcId) -> None:
+        if not self.net.are_neighbors(src, dst):
+            raise ConfigurationError(f"no edge {src} -> {dst} in the network")
+
+    def _dispatch(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+        """Hand a decoded message to a local inbox (drop if unknown)."""
+        inbox = self._inboxes.get(dst)
+        if inbox is None:
+            self.stats["frames_dropped"] += 1
+            return
+        self.stats["frames_received"] += 1
+        inbox.put_nowait((src, msg))
+
+    async def start(self) -> None:
+        """Bring the transport up (bind sockets, start pumps)."""
+
+    @abstractmethod
+    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+        """Best-effort: enqueue one hop message from ``src`` to ``dst``."""
+
+    async def close(self) -> None:
+        """Tear the transport down; pending frames may be lost."""
+
+
+class LocalTransport(Transport):
+    """In-memory transport: every node lives in this process."""
+
+    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+        self._check_edge(src, dst)
+        self.stats["frames_sent"] += 1
+        # Round-trip through the wire format so both transports reject the
+        # same payloads (and measure comparable serialization cost).
+        self._dispatch(src, dst, decode_body(encode_frame(msg)[4:]))
+
+
+class TcpTransport(Transport):
+    """Length-prefixed frames over asyncio TCP streams.
+
+    Parameters
+    ----------
+    net:
+        The topology; sends are restricted to its edges.
+    ports:
+        Complete map pid -> (host, port) for *every* node of the network
+        (local and remote alike).
+    local_pids:
+        The nodes hosted by this process; one listening server is started
+        for each.
+    backoff_base / backoff_cap:
+        Reconnect backoff: ``base * 2**attempt`` seconds, capped.
+    edge_queue:
+        Bounded per-edge outbound queue; on overflow the oldest frame is
+        dropped (best-effort, the hop protocol retries).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        ports: Dict[ProcId, Tuple[str, int]],
+        local_pids: Optional[Tuple[ProcId, ...]] = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        edge_queue: int = 1024,
+    ) -> None:
+        super().__init__(net)
+        missing = [p for p in net.processors() if p not in ports]
+        if missing:
+            raise ConfigurationError(f"ports missing for processors {missing}")
+        self.ports = dict(ports)
+        self.local_pids = tuple(local_pids) if local_pids is not None else tuple(
+            net.processors()
+        )
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.edge_queue = edge_queue
+        self._servers: list = []
+        self._edge_queues: Dict[Tuple[ProcId, ProcId], "asyncio.Queue[bytes]"] = {}
+        self._edge_tasks: Dict[Tuple[ProcId, ProcId], "asyncio.Task"] = {}
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start one server per local pid.  Raises ``OSError`` (e.g.
+        ``EADDRINUSE``) if a port cannot be bound — callers surface that as
+        a graceful startup failure, not a hang."""
+        for pid in self.local_pids:
+            host, port = self.ports[pid]
+            server = await asyncio.start_server(
+                self._make_conn_handler(pid), host=host, port=port
+            )
+            self._servers.append(server)
+
+    async def close(self) -> None:
+        self._closing = True
+        for task in self._edge_tasks.values():
+            task.cancel()
+        for task in self._edge_tasks.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._edge_tasks.clear()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        self._servers.clear()
+
+    # -- receiving -----------------------------------------------------------
+
+    def _make_conn_handler(self, pid: ProcId):
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            buffer = b""
+            try:
+                while True:
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    try:
+                        bodies, buffer = split_frames(buffer)
+                    except ValueError:
+                        self.stats["frames_dropped"] += 1
+                        break  # corrupted stream: drop the connection
+                    for body in bodies:
+                        try:
+                            envelope = decode_body(body)
+                            src = int(envelope["f"])
+                            dst = int(envelope["t"])
+                            msg = envelope["m"]
+                        except (ValueError, KeyError, TypeError):
+                            self.stats["frames_dropped"] += 1
+                            continue
+                        if not isinstance(msg, dict):
+                            self.stats["frames_dropped"] += 1
+                            continue
+                        self._dispatch(src, dst, msg)
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            finally:
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+
+        return handle
+
+    # -- sending -------------------------------------------------------------
+
+    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+        self._check_edge(src, dst)
+        if src not in self._inboxes and src not in self.local_pids:
+            raise ConfigurationError(f"processor {src} is not hosted here")
+        frame = encode_frame({"f": src, "t": dst, "m": msg})
+        key = (src, dst)
+        queue = self._edge_queues.get(key)
+        if queue is None:
+            queue = self._edge_queues[key] = asyncio.Queue(maxsize=self.edge_queue)
+            self._edge_tasks[key] = asyncio.get_running_loop().create_task(
+                self._edge_pump(key)
+            )
+        if queue.full():  # drop-oldest: the hop protocol retransmits
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            self.stats["frames_dropped"] += 1
+        queue.put_nowait(frame)
+        self.stats["frames_sent"] += 1
+
+    async def _edge_pump(self, key: Tuple[ProcId, ProcId]) -> None:
+        """Drain one directed edge's queue over a persistent connection,
+        reconnecting with capped exponential backoff."""
+        _, dst = key
+        host, port = self.ports[dst]
+        queue = self._edge_queues[key]
+        writer: Optional[asyncio.StreamWriter] = None
+        backoff = self.backoff_base
+        try:
+            while True:
+                frame = await queue.get()
+                while not self._closing:
+                    if writer is None:
+                        try:
+                            _, writer = await asyncio.open_connection(host, port)
+                            backoff = self.backoff_base
+                        except OSError:
+                            self.stats["reconnects"] += 1
+                            await asyncio.sleep(backoff)
+                            backoff = min(backoff * 2, self.backoff_cap)
+                            continue
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                        break
+                    except (ConnectionError, OSError):
+                        try:
+                            writer.close()
+                        except Exception:  # noqa: BLE001
+                            pass
+                        writer = None
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+
+
+def allocate_ports(
+    net: Network, host: str = "127.0.0.1", base: int = 0
+) -> Dict[ProcId, Tuple[str, int]]:
+    """A pid -> (host, port) map for every processor.
+
+    ``base == 0`` asks the OS for free ephemeral ports (bind-then-release;
+    the usual small race is acceptable for tests and local runs).  A
+    nonzero ``base`` assigns ``base, base+1, ...`` verbatim — collisions
+    then surface as ``EADDRINUSE`` at :meth:`TcpTransport.start`.
+    """
+    import socket
+
+    ports: Dict[ProcId, Tuple[str, int]] = {}
+    if base:
+        for pid in net.processors():
+            ports[pid] = (host, base + pid)
+        return ports
+    for pid in net.processors():
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            ports[pid] = (host, sock.getsockname()[1])
+    return ports

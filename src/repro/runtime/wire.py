@@ -1,0 +1,112 @@
+"""Wire format of the live runtime.
+
+Every hop-level protocol message is a small JSON object; on the network it
+travels as one *frame* — a 4-byte big-endian length prefix followed by the
+UTF-8 JSON body.  Both transports speak frames (the in-memory transport
+round-trips them too, so a payload that cannot be serialized fails
+identically on either transport instead of only in production).
+
+Hop protocol message kinds (see :mod:`repro.runtime.node` for the rules):
+
+``DATA``
+    Carries one stored message ``(dest, seq, uid, payload, valid)`` one hop
+    toward its destination.  ``seq`` is a per-(sender, receiver, dest) lane
+    sequence number; the receiver uses it to deduplicate retransmissions
+    and transport-level duplicates.
+``ACK``
+    The receiver accepted ``(dest, seq)`` into its reception buffer (or
+    already had) — the sender may erase its emission buffer.
+``REL``
+    The sender has erased its copy of ``(dest, seq)``; the receiver may
+    commit the reception buffer to its emission buffer (rule R2's guard,
+    carried over the wire).
+``RACK``
+    The receiver processed the ``REL`` — the sender's lane is free for the
+    next message.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Hop-protocol message kinds.
+DATA, ACK, REL, RACK = "DATA", "ACK", "REL", "RACK"
+
+_LEN = struct.Struct(">I")
+
+#: Frames above this are rejected (a corrupted length prefix must not make
+#: a reader allocate gigabytes).
+MAX_FRAME = 1 << 20
+
+
+def encode_frame(msg: Dict[str, Any]) -> bytes:
+    """Serialize one message dict to a length-prefixed frame."""
+    try:
+        body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"payload is not JSON-serializable: {exc}"
+        ) from None
+    if len(body) > MAX_FRAME:
+        raise ConfigurationError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body back into a message dict."""
+    msg = json.loads(body.decode("utf-8"))
+    if not isinstance(msg, dict):
+        raise ValueError("frame body is not a JSON object")
+    return msg
+
+
+def split_frames(buffer: bytes) -> Tuple[list, bytes]:
+    """Split ``buffer`` into complete frame bodies plus the unconsumed
+    tail (stream parsing for the TCP transport)."""
+    bodies = []
+    offset = 0
+    while len(buffer) - offset >= _LEN.size:
+        (length,) = _LEN.unpack_from(buffer, offset)
+        if length > MAX_FRAME:
+            raise ValueError(f"frame length {length} exceeds MAX_FRAME")
+        if len(buffer) - offset - _LEN.size < length:
+            break
+        start = offset + _LEN.size
+        bodies.append(buffer[start : start + length])
+        offset = start + length
+    return bodies, buffer[offset:]
+
+
+# -- hop message constructors (kept tiny and allocation-light) ---------------
+
+
+def data_msg(dest: int, seq: int, uid: int, payload: Any, valid: bool) -> Dict[str, Any]:
+    """A ``DATA`` hop message."""
+    return {"k": DATA, "d": dest, "s": seq, "u": uid, "p": payload, "v": valid}
+
+
+def ack_msg(dest: int, seq: int) -> Dict[str, Any]:
+    """An ``ACK`` hop message."""
+    return {"k": ACK, "d": dest, "s": seq}
+
+
+def rel_msg(dest: int, seq: int) -> Dict[str, Any]:
+    """A ``REL`` hop message."""
+    return {"k": REL, "d": dest, "s": seq}
+
+
+def rack_msg(dest: int, seq: int) -> Dict[str, Any]:
+    """A ``RACK`` hop message."""
+    return {"k": RACK, "d": dest, "s": seq}
+
+
+def kind_of(msg: Dict[str, Any]) -> Optional[str]:
+    """The hop-protocol kind of a decoded message (None if malformed)."""
+    kind = msg.get("k")
+    return kind if kind in (DATA, ACK, REL, RACK) else None

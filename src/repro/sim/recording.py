@@ -62,6 +62,15 @@ def record_run(spec: Dict[str, Any], max_steps: int = 500_000) -> RunRecord:
     return RunRecord(spec=spec, max_steps=max_steps, outcome=_fingerprint(simulation))
 
 
+def sweep_outcome_row(spec: Dict[str, Any], max_steps: int = 500_000) -> Dict[str, Any]:
+    """One sweep row: the outcome fingerprint of ``spec`` minus the bulky
+    per-rule counts.  Module-level (not a closure) so
+    :func:`repro.sim.campaign.run_sweep` can ship it to worker processes —
+    this is the runner behind ``repro sweep --workers N``."""
+    record = record_run(spec, max_steps=max_steps)
+    return {k: v for k, v in record.outcome.items() if k != "rule_counts"}
+
+
 def verify_record(record: RunRecord) -> List[str]:
     """Re-run a record's spec; return the list of fingerprint mismatches
     (empty == bit-identical reproduction)."""

@@ -43,6 +43,76 @@ class TestRecordVerify:
         assert main(["verify", str(out_path)]) == 1
         assert "MISMATCH" in capsys.readouterr().err
 
+    def test_tampered_record_diff_names_field_and_both_values(
+        self, spec_file, tmp_path, capsys
+    ):
+        # The rejection must be a readable diff, not a stack trace.
+        out_path = tmp_path / "r.json"
+        main(["record", str(spec_file), "-o", str(out_path)])
+        data = json.loads(out_path.read_text())
+        honest = data["outcome"]["delivered"]
+        data["outcome"]["delivered"] = honest + 3
+        out_path.write_text(json.dumps(data))
+        assert main(["verify", str(out_path)]) == 1
+        err = capsys.readouterr().err
+        assert f"delivered: recorded {honest + 3!r}, reproduced {honest!r}" in err
+        assert "Traceback" not in err
+
+    def test_verify_missing_file_is_a_clear_error(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read record")
+        assert "Traceback" not in err
+
+    def test_verify_malformed_json_is_a_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        assert main(["verify", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a run record" in err
+
+    def test_verify_wrong_shape_is_a_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"outcome": {}}))  # no spec/max_steps
+        assert main(["verify", str(path)]) == 2
+        assert "not a run record" in capsys.readouterr().err
+
+    def test_verify_unrunnable_spec_is_a_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "badspec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "spec": {"topology": {"name": "mobius", "kwargs": {}}},
+                    "max_steps": 10,
+                    "outcome": {},
+                }
+            )
+        )
+        assert main(["verify", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "record's spec no longer runs" in err
+
+    def test_record_missing_spec_is_a_clear_error(self, tmp_path, capsys):
+        assert main(["record", str(tmp_path / "ghost.json")]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_record_malformed_spec_is_a_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("]]][[")
+        assert main(["record", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_record_verify_round_trip_through_files(self, spec_file, tmp_path):
+        # The full CLI loop: record -> file on disk -> verify, twice
+        # (verification must not consume or alter the record).
+        out_path = tmp_path / "round.json"
+        assert main(["record", str(spec_file), "-o", str(out_path)]) == 0
+        first = out_path.read_text()
+        assert main(["verify", str(out_path)]) == 0
+        assert main(["verify", str(out_path)]) == 0
+        assert out_path.read_text() == first
+
 
 class TestSweep:
     def test_sweep_runs_all_specs(self, tmp_path, capsys):

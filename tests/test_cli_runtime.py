@@ -1,0 +1,84 @@
+"""Tests for the ``repro runtime`` subcommand and ``repro sweep --workers``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_artifact
+
+
+class TestRuntimeCommand:
+    def test_clean_local_run_exits_zero(self, capsys):
+        code = main(
+            ["runtime", "--topology", "ring", "--n", "4", "--messages", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime [OK]" in out
+        assert "verdict: PASS" in out
+
+    def test_jsonl_artifact_written_and_valid(self, tmp_path, capsys):
+        path = tmp_path / "runtime.jsonl"
+        code = main(
+            [
+                "runtime", "--topology", "line", "--n", "3",
+                "--messages", "8", "--jsonl", str(path),
+            ]
+        )
+        assert code == 0
+        artifact = read_artifact(path)  # schema-validated on read
+        assert artifact.meta["transport"] == "local"
+        assert artifact.meta["partial"] is False
+        names = {row["metric"] for row in artifact.rows}
+        assert "runtime_delivered" in names
+
+    def test_netem_flags_accepted(self, capsys):
+        code = main(
+            [
+                "runtime", "--topology", "ring", "--n", "3",
+                "--messages", "8", "--loss", "0.05", "--dup", "0.05",
+                "--latency-ms", "0:2",
+            ]
+        )
+        assert code == 0
+        assert "netem:" in capsys.readouterr().out
+
+    def test_bad_latency_spec_exits_two(self, capsys):
+        code = main(
+            ["runtime", "--topology", "ring", "--n", "3", "--latency-ms", "zap"]
+        )
+        assert code == 2
+        assert "LO:HI" in capsys.readouterr().err
+
+
+SPEC = {
+    "topology": {"name": "line", "kwargs": {"n": 4}},
+    "workload": {"name": "uniform", "kwargs": {"count": 4, "seed": 1}},
+    "seed": 5,
+}
+
+
+class TestSweepWorkers:
+    def sweep_file(self, tmp_path):
+        specs = [dict(SPEC, label=f"s{i}", seed=i) for i in range(4)]
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(specs))
+        return path
+
+    def test_parallel_rows_identical_to_serial(self, tmp_path, capsys):
+        path = self.sweep_file(tmp_path)
+        assert main(["sweep", str(path)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", str(path), "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "s0" in serial and "s3" in serial
+
+    def test_parallel_jsonl_identical_to_serial(self, tmp_path, capsys):
+        path = self.sweep_file(tmp_path)
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["sweep", str(path), "--jsonl", str(a)]) == 0
+        assert main(["sweep", str(path), "--workers", "3", "--jsonl", str(b)]) == 0
+        capsys.readouterr()
+        assert read_artifact(a).rows == read_artifact(b).rows

@@ -1,0 +1,117 @@
+"""Integration tests: full cluster runs on every execution shape."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import read_artifact, write_jsonl
+from repro.runtime import ClusterSpec, run_cluster
+
+
+def ring_spec(**overrides):
+    base = dict(
+        topology={"name": "ring", "kwargs": {"n": 4}},
+        messages=24,
+        seed=7,
+        deadline=30.0,
+        tick=0.002,
+    )
+    base.update(overrides)
+    return ClusterSpec(**base)
+
+
+class TestLocalCluster:
+    def test_clean_run_delivers_exactly_once(self):
+        result = run_cluster(ring_spec())
+        assert not result.partial, result.summary()
+        assert result.report.generated == 24
+        assert result.report.delivered == 24
+        assert result.report.duplicates == 0
+        assert result.counters["generated"] == 24
+        assert result.throughput > 0
+
+    def test_netem_faults_still_exactly_once(self):
+        result = run_cluster(
+            ring_spec(
+                messages=20,
+                netem={
+                    "loss": 0.1,
+                    "dup": 0.1,
+                    "reorder": 0.1,
+                    "latency": [0.0, 0.002],
+                },
+                retry_base=0.02,
+                retry_cap=0.1,
+            )
+        )
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 20
+        assert result.report.duplicates == 0
+        # The adversary must actually have acted for this to mean anything.
+        assert sum(result.netem_stats.values()) > 0
+
+    def test_hotspot_workload(self):
+        result = run_cluster(ring_spec(workload="hotspot", messages=12))
+        assert not result.partial, result.summary()
+        assert result.report.delivered == result.report.generated > 0
+
+    def test_obs_rows_validate_against_schema(self, tmp_path):
+        result = run_cluster(ring_spec(messages=8))
+        rows = result.obs_rows()
+        path = tmp_path / "runtime.jsonl"
+        write_jsonl(path, rows, name="runtime")
+        artifact = read_artifact(path)  # raises on any schema violation
+        names = {row["metric"] for row in artifact.rows}
+        assert "runtime_generated" in names
+        assert "runtime_hop_latency_s" in names
+        assert "runtime_msg_latency_s" in names
+        assert "runtime_throughput_msgs" in names
+
+
+class TestTcpCluster:
+    def test_single_process_tcp_smoke(self):
+        result = run_cluster(
+            ring_spec(
+                topology={"name": "ring", "kwargs": {"n": 3}},
+                messages=12,
+                transport="tcp",
+            )
+        )
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 12
+        assert result.transport_stats["frames_sent"] > 0
+
+    def test_multiprocess_tcp_smoke(self):
+        result = run_cluster(
+            ring_spec(
+                topology={"name": "ring", "kwargs": {"n": 4}},
+                messages=16,
+                transport="tcp",
+                procs=2,
+                deadline=60.0,
+            )
+        )
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 16
+        assert result.report.duplicates == 0
+
+
+class TestSpecValidation:
+    def test_multiprocess_requires_tcp(self):
+        with pytest.raises(ConfigurationError, match="require transport='tcp'"):
+            run_cluster(ring_spec(procs=2))
+
+    def test_procs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="procs"):
+            run_cluster(ring_spec(procs=0))
+
+    def test_more_procs_than_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="more worker processes"):
+            run_cluster(ring_spec(transport="tcp", procs=9))
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown transport"):
+            run_cluster(ring_spec(transport="carrier-pigeon"))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            run_cluster(ring_spec(workload="nope"))

@@ -1,0 +1,98 @@
+"""Tests for the conformance oracle over live-run event logs."""
+
+from repro.runtime.conformance import RuntimeEvent, check_events
+
+
+def ev(kind, uid, node, dest, order, valid=True, t=0.0):
+    return RuntimeEvent(
+        kind=kind, uid=uid, node=node, dest=dest, valid=valid, t=t, order=order
+    )
+
+
+def clean_run():
+    """Two messages 0 -> 2, generated then delivered in order."""
+    return [
+        ev("generated", 10, node=0, dest=2, order=0),
+        ev("generated", 11, node=0, dest=2, order=1),
+        ev("delivered", 10, node=2, dest=2, order=0),
+        ev("delivered", 11, node=2, dest=2, order=1),
+    ]
+
+
+class TestCheckEvents:
+    def test_clean_run_passes(self):
+        report = check_events(clean_run())
+        assert report.ok
+        assert report.generated == 2
+        assert report.delivered == 2
+        assert "verdict: PASS" in report.summary()
+
+    def test_duplicate_delivery_fails(self):
+        events = clean_run() + [ev("delivered", 10, node=2, dest=2, order=2)]
+        report = check_events(events)
+        assert not report.ok
+        assert report.duplicates == 1
+        assert "verdict: FAIL" in report.summary()
+
+    def test_phantom_delivery_fails(self):
+        events = clean_run() + [ev("delivered", 999, node=2, dest=2, order=2)]
+        report = check_events(events)
+        assert not report.ok
+        assert any("999" in v for v in report.violations)
+
+    def test_undelivered_uids_reported(self):
+        events = [ev("generated", 10, node=0, dest=2, order=0)]
+        report = check_events(events)
+        assert not report.ok
+        assert report.undelivered == [10]
+        assert "UNDELIVERED" in report.summary()
+
+    def test_generation_shortfall_detected(self):
+        report = check_events(clean_run(), expect_generated=5)
+        assert not report.ok
+        assert any("expected 5" in v for v in report.violations)
+
+    def test_cross_node_order_does_not_matter(self):
+        # Delivery events may sort before the generations of a higher-pid
+        # node; only node-local order is real, so this must still PASS.
+        events = [
+            ev("delivered", 20, node=0, dest=0, order=0),
+            ev("generated", 20, node=3, dest=0, order=0),
+        ]
+        assert check_events(events).ok
+
+    def test_per_pair_order_violation_detected(self):
+        events = [
+            ev("generated", 10, node=0, dest=2, order=0),
+            ev("generated", 11, node=0, dest=2, order=1),
+            # Delivered in the opposite order: FIFO lanes forbid this.
+            ev("delivered", 11, node=2, dest=2, order=0),
+            ev("delivered", 10, node=2, dest=2, order=1),
+        ]
+        report = check_events(events)
+        assert not report.ok
+        assert report.sequence_violations
+
+    def test_interleaved_sources_keep_per_pair_order(self):
+        events = [
+            ev("generated", 10, node=0, dest=2, order=0),
+            ev("generated", 21, node=1, dest=2, order=0),
+            ev("generated", 11, node=0, dest=2, order=1),
+            # Destination interleaves the sources; each pair stays ordered.
+            ev("delivered", 21, node=2, dest=2, order=0),
+            ev("delivered", 10, node=2, dest=2, order=1),
+            ev("delivered", 11, node=2, dest=2, order=2),
+        ]
+        assert check_events(events).ok
+
+    def test_invalid_deliveries_counted_separately(self):
+        events = clean_run() + [
+            ev("delivered", 77, node=1, dest=1, order=0, valid=False)
+        ]
+        report = check_events(events)
+        assert report.invalid_delivered == 1
+        assert report.delivered == 2  # invalid ones are not "delivered"
+
+    def test_unknown_kind_flagged(self):
+        report = check_events([ev("exploded", 1, node=0, dest=1, order=0)])
+        assert any("unknown event kind" in v for v in report.violations)

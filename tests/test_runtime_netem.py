@@ -1,0 +1,135 @@
+"""Tests for the fault-injecting netem transport decorator."""
+
+import asyncio
+
+from repro.network.topologies import line_network
+from repro.runtime.netem import NetemConfig, NetemTransport
+from repro.runtime.transport import LocalTransport
+from repro.runtime.wire import ack_msg
+from repro.types import normalized_edge
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestNetemConfig:
+    def test_noop_detection(self):
+        assert NetemConfig().is_noop()
+        assert not NetemConfig(loss=0.1).is_noop()
+        assert not NetemConfig(latency=(0.0, 0.001)).is_noop()
+        assert not NetemConfig(flap_period=1.0).is_noop()
+
+    def test_from_spec(self):
+        cfg = NetemConfig.from_spec(
+            {
+                "loss": 0.1,
+                "dup": "0.2",
+                "latency": [0.001, 0.002],
+                "flap_period": 0.5,
+                "blocked_edges": [[1, 0]],
+            }
+        )
+        assert cfg.loss == 0.1
+        assert cfg.dup == 0.2
+        assert cfg.latency == (0.001, 0.002)
+        assert cfg.flap_period == 0.5
+        assert cfg.blocked_edges == frozenset({normalized_edge(0, 1)})
+
+
+class TestNetemTransport:
+    def test_total_loss_drops_everything(self):
+        async def body():
+            net = line_network(2)
+            netem = NetemTransport(LocalTransport(net), NetemConfig(loss=1.0), seed=1)
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            for i in range(10):
+                await netem.send(0, 1, ack_msg(0, i))
+            assert inbox.empty()
+            assert netem.fault_stats["netem_dropped"] == 10
+
+        run(body())
+
+    def test_total_duplication_delivers_twice(self):
+        async def body():
+            net = line_network(2)
+            netem = NetemTransport(LocalTransport(net), NetemConfig(dup=1.0), seed=1)
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            for i in range(4):
+                await netem.send(0, 1, ack_msg(0, i))
+            assert inbox.qsize() == 8
+            assert netem.fault_stats["netem_duplicated"] == 4
+
+        run(body())
+
+    def test_blocked_edge_is_silent(self):
+        async def body():
+            net = line_network(3)
+            cfg = NetemConfig(blocked_edges=frozenset({normalized_edge(0, 1)}))
+            netem = NetemTransport(LocalTransport(net), cfg, seed=0)
+            inbox1, inbox2 = asyncio.Queue(), asyncio.Queue()
+            netem.bind(1, inbox1)
+            netem.bind(2, inbox2)
+            await netem.send(0, 1, ack_msg(0, 1))  # blocked
+            await netem.send(1, 2, ack_msg(0, 2))  # open
+            assert inbox1.empty()
+            assert inbox2.qsize() == 1
+
+        run(body())
+
+    def test_latency_delays_but_delivers(self):
+        async def body():
+            net = line_network(2)
+            cfg = NetemConfig(latency=(0.01, 0.02))
+            netem = NetemTransport(LocalTransport(net), cfg, seed=3)
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            await netem.send(0, 1, ack_msg(0, 7))
+            assert inbox.empty()  # not yet: it is in flight
+            src, msg = await asyncio.wait_for(inbox.get(), 2.0)
+            assert (src, msg) == (0, ack_msg(0, 7))
+            await netem.close()
+
+        run(body())
+
+    def test_seeded_fault_pattern_is_deterministic(self):
+        async def pattern(seed):
+            net = line_network(2)
+            netem = NetemTransport(
+                LocalTransport(net), NetemConfig(loss=0.5), seed=seed
+            )
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            for i in range(50):
+                await netem.send(0, 1, ack_msg(0, i))
+            got = []
+            while not inbox.empty():
+                got.append(inbox.get_nowait()[1]["s"])
+            return got
+
+        a = run(pattern(seed=9))
+        b = run(pattern(seed=9))
+        c = run(pattern(seed=10))
+        assert a == b
+        assert a != c  # the adversary really depends on the seed
+
+    def test_flap_takes_an_edge_down(self):
+        async def body():
+            net = line_network(2)
+            cfg = NetemConfig(flap_period=0.02, flap_down=10.0)
+            netem = NetemTransport(LocalTransport(net), cfg, seed=0)
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            await netem.start()
+            try:
+                await asyncio.sleep(0.1)  # at least one flap fired
+                assert netem.fault_stats["netem_flaps"] >= 1
+                await netem.send(0, 1, ack_msg(0, 1))  # the only edge is down
+                assert inbox.empty()
+                assert netem.fault_stats["netem_dropped"] >= 1
+            finally:
+                await netem.close()
+
+        run(body())

@@ -1,0 +1,170 @@
+"""Tests for the live node's hop protocol (deduplication, handshakes)."""
+
+import asyncio
+
+import pytest
+
+from repro.network.topologies import line_network
+from repro.routing.static import StaticRouting
+from repro.runtime.node import RuntimeNode, RuntimeParams
+from repro.runtime.transport import LocalTransport
+from repro.runtime.wire import ACK, RACK, ack_msg, data_msg, rack_msg, rel_msg
+
+
+def make_node(pid=1, n=2):
+    """A node whose wire handlers we drive by hand (no event loop)."""
+    net = line_network(n)
+    transport = LocalTransport(net)
+    node = RuntimeNode(pid, net, StaticRouting(net), transport)
+    return node
+
+
+class TestReceptionDedup:
+    def test_expected_seq_accepted_and_acked(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        assert node.buf_r[1] is not None and node.buf_r[1].uid == 11
+        assert out == [(0, ack_msg(1, 1))]
+
+    def test_duplicate_data_reacked_not_reaccepted(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        before = node.buf_r[1]
+        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        assert node.buf_r[1] is before  # same record object: no re-accept
+        assert node.counters["dup_data_acked"] == 1
+        assert out == [(0, ack_msg(1, 1)), (0, ack_msg(1, 1))]
+
+    def test_future_seq_dropped(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 7, 11, "m", True), out)
+        assert node.buf_r[1] is None
+        assert out == []
+        assert node.counters["stale_frames_dropped"] == 1
+
+    def test_busy_buffer_stays_silent(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 1, 11, "a", True), out)
+        out.clear()
+        # Next lane seq arrives while buf_r is still held: no ACK at all,
+        # the sender's retransmit timer is the retry path.
+        node._handle(0, data_msg(1, 2, 12, "b", True), out)
+        assert out == []
+        assert node.buf_r[1].uid == 11
+
+    def test_malformed_frames_dropped(self):
+        node = make_node()
+        out = []
+        node._handle(0, {"k": "DATA"}, out)          # missing fields
+        node._handle(0, {"k": "NOPE", "d": 1, "s": 1}, out)  # unknown kind
+        node._handle(0, data_msg(99, 1, 1, "m", True), out)  # dest out of range
+        assert out == []
+        assert node.counters["stale_frames_dropped"] == 3
+
+
+class TestReleaseHandshake:
+    def test_rel_marks_released_and_racks(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        out.clear()
+        node._handle(0, rel_msg(1, 1), out)
+        assert node.buf_r[1].released
+        assert out == [(0, rack_msg(1, 1))]
+
+    def test_rel_for_unaccepted_seq_dropped(self):
+        node = make_node()
+        out = []
+        node._handle(0, rel_msg(1, 5), out)  # never accepted seq 5
+        assert out == []
+        assert node.counters["stale_frames_dropped"] == 1
+
+    def test_duplicate_rel_still_racked(self):
+        node = make_node()
+        out = []
+        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        node._handle(0, rel_msg(1, 1), out)
+        out.clear()
+        node._handle(0, rel_msg(1, 1), out)  # retransmitted REL
+        assert out == [(0, rack_msg(1, 1))]
+
+
+class TestSenderSide:
+    def test_ack_erases_emission_and_emits_rel(self):
+        node = make_node(pid=0)
+        node.submit("m", 1)
+        out = []
+        node._advance(out)  # generate + commit + open lane (DATA out)
+        assert node.buf_e[1] is not None
+        assert node.in_flight() == 1
+        (nbr, frame) = out[0]
+        assert nbr == 1 and frame["k"] == "DATA"
+        out.clear()
+        node._handle(1, ack_msg(1, frame["s"]), out)
+        assert node.buf_e[1] is None  # R4
+        assert out[0][1]["k"] == "REL"
+        assert node.in_flight() == 1  # lane now awaits the RACK
+        out.clear()
+        node._handle(1, rack_msg(1, frame["s"]), out)
+        assert node.in_flight() == 0
+
+    def test_stale_ack_ignored(self):
+        node = make_node(pid=0)
+        node.submit("m", 1)
+        out = []
+        node._advance(out)
+        out.clear()
+        node._handle(1, ack_msg(1, 99), out)  # wrong seq
+        assert node.buf_e[1] is not None
+        assert out == []
+
+    def test_self_addressed_submit_rejected(self):
+        node = make_node(pid=0)
+        with pytest.raises(ValueError, match="self-addressed"):
+            node.submit("m", 0)
+
+    def test_retransmit_after_timeout(self):
+        node = make_node(pid=0)
+        node.params = RuntimeParams(retry_base=0.0, retry_cap=0.0)
+        node.submit("m", 1)
+        out = []
+        node._advance(out)
+        out.clear()
+        node._advance(out)  # timeout is 0: retransmits immediately
+        assert node.counters["retries"] >= 1
+        assert any(m["k"] == "DATA" for _, m in out)
+
+
+class TestEndToEndOverLocalTransport:
+    def test_two_nodes_deliver_and_drain(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net)
+            routing = StaticRouting(net)
+            params = RuntimeParams(tick=0.002)
+            nodes = [
+                RuntimeNode(p, net, routing, transport, params) for p in range(2)
+            ]
+            for i in range(5):
+                nodes[0].submit(f"m{i}", 1)
+            tasks = [asyncio.ensure_future(n.run()) for n in nodes]
+            for _ in range(1000):
+                if nodes[1].counters["delivered"] == 5 and all(
+                    n.is_idle() for n in nodes
+                ):
+                    break
+                await asyncio.sleep(0.005)
+            for n in nodes:
+                n.stop()
+            await asyncio.gather(*tasks)
+            assert nodes[1].counters["delivered"] == 5
+            assert nodes[0].counters["generated"] == 5
+            assert len(nodes[0].hop_latencies) == 5
+            kinds = [e.kind for e in nodes[1].events]
+            assert kinds == ["delivered"] * 5
+
+        asyncio.run(body())

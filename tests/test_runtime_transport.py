@@ -1,0 +1,158 @@
+"""Tests for the runtime transports (in-memory and TCP)."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topologies import line_network, ring_network
+from repro.runtime.transport import (
+    LocalTransport,
+    TcpTransport,
+    allocate_ports,
+)
+from repro.runtime.wire import ack_msg, data_msg
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLocalTransport:
+    def test_delivers_to_bound_inbox(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net)
+            inbox = asyncio.Queue()
+            transport.bind(1, inbox)
+            msg = data_msg(1, 1, 5, "hello", True)
+            await transport.send(0, 1, msg)
+            src, got = inbox.get_nowait()
+            assert src == 0
+            assert got == msg
+            assert transport.stats["frames_sent"] == 1
+            assert transport.stats["frames_received"] == 1
+
+        run(body())
+
+    def test_rejects_non_edges(self):
+        async def body():
+            net = line_network(3)
+            transport = LocalTransport(net)
+            with pytest.raises(ConfigurationError, match="no edge"):
+                await transport.send(0, 2, ack_msg(0, 1))
+
+        run(body())
+
+    def test_unbound_destination_counts_as_drop(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net)
+            await transport.send(0, 1, ack_msg(0, 1))
+            assert transport.stats["frames_dropped"] == 1
+
+        run(body())
+
+    def test_serialization_enforced_like_tcp(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net)
+            transport.bind(1, asyncio.Queue())
+            with pytest.raises(ConfigurationError, match="JSON-serializable"):
+                await transport.send(0, 1, data_msg(1, 1, 1, object(), True))
+
+        run(body())
+
+
+class TestAllocatePorts:
+    def test_base_zero_finds_free_unique_ports(self):
+        net = ring_network(5)
+        ports = allocate_ports(net)
+        assert set(ports) == set(net.processors())
+        assert len({p for _, p in ports.values()}) == 5
+
+    def test_nonzero_base_assigns_verbatim(self):
+        net = line_network(3)
+        ports = allocate_ports(net, base=42000)
+        assert ports == {
+            0: ("127.0.0.1", 42000),
+            1: ("127.0.0.1", 42001),
+            2: ("127.0.0.1", 42002),
+        }
+
+
+class TestTcpTransport:
+    def test_round_trip_over_loopback(self):
+        async def body():
+            net = line_network(2)
+            ports = allocate_ports(net)
+            transport = TcpTransport(net, ports)
+            inbox0, inbox1 = asyncio.Queue(), asyncio.Queue()
+            transport.bind(0, inbox0)
+            transport.bind(1, inbox1)
+            await transport.start()
+            try:
+                msg = data_msg(1, 1, 9, {"nested": True}, True)
+                await transport.send(0, 1, msg)
+                src, got = await asyncio.wait_for(inbox1.get(), 5.0)
+                assert (src, got) == (0, msg)
+                # And the reverse direction over its own connection.
+                await transport.send(1, 0, ack_msg(1, 1))
+                src, got = await asyncio.wait_for(inbox0.get(), 5.0)
+                assert (src, got) == (1, ack_msg(1, 1))
+            finally:
+                await transport.close()
+
+        run(body())
+
+    def test_missing_ports_rejected(self):
+        net = line_network(3)
+        with pytest.raises(ConfigurationError, match="ports missing"):
+            TcpTransport(net, {0: ("127.0.0.1", 1)})
+
+    def test_port_in_use_raises_oserror(self):
+        async def body():
+            net = line_network(2)
+            blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            taken = blocker.getsockname()[1]
+            try:
+                ports = {0: ("127.0.0.1", taken), 1: ("127.0.0.1", taken)}
+                transport = TcpTransport(net, ports)
+                with pytest.raises(OSError):
+                    await transport.start()
+                await transport.close()
+            finally:
+                blocker.close()
+
+        run(body())
+
+    def test_sender_queues_while_peer_is_down(self):
+        # The peer's server starts late; the edge pump must reconnect and
+        # deliver the queued frame rather than lose it.
+        async def body():
+            net = line_network(2)
+            ports = allocate_ports(net)
+            sender = TcpTransport(
+                net, ports, local_pids=(0,), backoff_base=0.02, backoff_cap=0.1
+            )
+            sender.bind(0, asyncio.Queue())
+            await sender.start()
+            msg = data_msg(1, 1, 3, "late", True)
+            await sender.send(0, 1, msg)  # peer not listening yet
+            await asyncio.sleep(0.1)
+            receiver = TcpTransport(net, ports, local_pids=(1,))
+            inbox = asyncio.Queue()
+            receiver.bind(1, inbox)
+            await receiver.start()
+            try:
+                src, got = await asyncio.wait_for(inbox.get(), 5.0)
+                assert (src, got) == (0, msg)
+                assert sender.stats["reconnects"] >= 1
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        run(body())

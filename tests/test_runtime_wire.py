@@ -1,0 +1,73 @@
+"""Tests for the runtime wire format (framing + hop message shapes)."""
+
+import struct
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.wire import (
+    ACK,
+    DATA,
+    MAX_FRAME,
+    RACK,
+    REL,
+    ack_msg,
+    data_msg,
+    decode_body,
+    encode_frame,
+    kind_of,
+    rack_msg,
+    rel_msg,
+    split_frames,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        msg = data_msg(3, 7, 42, {"x": [1, 2]}, True)
+        frame = encode_frame(msg)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == msg
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            encode_frame(data_msg(0, 1, 1, object(), True))
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(ConfigurationError, match="MAX_FRAME"):
+            encode_frame(data_msg(0, 1, 1, "x" * (MAX_FRAME + 1), True))
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            decode_body(b"[1, 2, 3]")
+
+    def test_split_frames_handles_partials(self):
+        frames = [encode_frame(ack_msg(d, d)) for d in range(3)]
+        stream = b"".join(frames)
+        # Feed byte by byte: every complete frame must pop exactly once.
+        buffer = b""
+        bodies = []
+        for i in range(len(stream)):
+            buffer += stream[i : i + 1]
+            got, buffer = split_frames(buffer)
+            bodies.extend(got)
+        assert buffer == b""
+        assert [decode_body(b)["d"] for b in bodies] == [0, 1, 2]
+
+    def test_split_frames_rejects_absurd_length(self):
+        evil = struct.pack(">I", MAX_FRAME + 1) + b"x"
+        with pytest.raises(ValueError, match="exceeds MAX_FRAME"):
+            split_frames(evil)
+
+
+class TestHopMessages:
+    def test_constructors_and_kinds(self):
+        assert kind_of(data_msg(1, 2, 3, "p", True)) == DATA
+        assert kind_of(ack_msg(1, 2)) == ACK
+        assert kind_of(rel_msg(1, 2)) == REL
+        assert kind_of(rack_msg(1, 2)) == RACK
+
+    def test_kind_of_rejects_garbage(self):
+        assert kind_of({}) is None
+        assert kind_of({"k": "BOGUS"}) is None
