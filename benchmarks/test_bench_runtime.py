@@ -3,11 +3,21 @@
 Two claims, measured on real executions (not the discrete simulators):
 
 * **Throughput** — messages per second of wall clock on clean channels,
-  in-memory queues vs. real loopback TCP sockets.
+  in-memory queues vs. real loopback TCP sockets.  Since the windowed
+  lane protocol + batched binary framing, the clean scenarios are gated
+  at >= 5x the stop-and-wait JSON seed (clean-local 2321 msg/s,
+  clean-tcp 1845 msg/s archived pre-window); the archived numbers
+  typically land >= 10x.
 * **Conformance under faults** — a seeded 10k-message soak on *both*
   transports behind the netem adversary (loss + duplication + reordering
   + latency jitter), judged by the oracle: every generated message
-  delivered exactly once, per-pair FIFO order preserved.
+  delivered exactly once, per-pair FIFO order preserved.  Gated at
+  >= 3x the seed soak rows (583 / 556 msg/s).
+
+The clean runs also regression-gate **spurious retransmissions**: with
+the RFC 6298 estimator plus the decayed max-RTT guard, a clean channel
+should retransmit (almost) nothing — the stop-and-wait seed burned 123
+(local) / 294 (tcp) retries on clean runs.
 
 Archived as ``results/RUNTIME.txt`` + ``results/RUNTIME.jsonl`` (the
 JSONL twin is schema-versioned ``repro.obs/v1``).
@@ -18,6 +28,7 @@ from conftest import archive, bench_once
 from repro.runtime import ClusterSpec, run_cluster
 from repro.sim.reporting import format_table
 
+CLEAN_MESSAGES = 20_000
 SOAK_MESSAGES = 10_000
 SOAK_NETEM = {
     "loss": 0.02,
@@ -25,6 +36,19 @@ SOAK_NETEM = {
     "reorder": 0.02,
     "latency": [0.0, 0.001],
 }
+
+#: Throughput of the pre-window stop-and-wait seed (msg/s), from the
+#: archived RUNTIME.txt of the seed revision.  CI gates against these.
+SEED_THROUGHPUT = {
+    "clean-local": 2321.0,
+    "clean-tcp": 1845.0,
+    "soak-netem-local": 583.0,
+    "soak-netem-tcp": 556.0,
+}
+CLEAN_GATE = 5.0   # x seed — conservative: shared CI boxes are noisy
+SOAK_GATE = 3.0    # x seed
+#: A clean channel must not retransmit meaningfully (seed: 123 / 294).
+CLEAN_RETRY_BUDGET = 50
 
 
 def _spec(transport, messages, netem=None):
@@ -53,14 +77,15 @@ def _row(scenario, result):
         "netem_events": sum(result.netem_stats.values()),
         "elapsed_s": round(result.elapsed_s, 2),
         "throughput_msg_s": round(result.throughput, 0),
+        "x_seed": round(result.throughput / SEED_THROUGHPUT[scenario], 1),
         "verdict": "PASS" if report.ok else "FAIL",
     }
 
 
 def run_runtime_bench():
     results = {
-        "clean-local": run_cluster(_spec("local", 2_000)),
-        "clean-tcp": run_cluster(_spec("tcp", 2_000)),
+        "clean-local": run_cluster(_spec("local", CLEAN_MESSAGES)),
+        "clean-tcp": run_cluster(_spec("tcp", CLEAN_MESSAGES)),
         "soak-netem-local": run_cluster(
             _spec("local", SOAK_MESSAGES, netem=SOAK_NETEM)
         ),
@@ -82,20 +107,40 @@ def test_bench_runtime(benchmark):
         report,
         rows,
         meta={
+            "clean_messages": CLEAN_MESSAGES,
             "soak_messages": SOAK_MESSAGES,
             "netem": SOAK_NETEM,
             "topology": "ring(8)",
             "seed": 42,
+            "seed_throughput": SEED_THROUGHPUT,
         },
     )
     for name, result in results.items():
         assert not result.partial, f"{name}: {result.summary()}"
         assert result.report.duplicates == 0, name
         assert not result.report.sequence_violations, name
+    for name in ("clean-local", "clean-tcp"):
+        result = results[name]
+        floor = SEED_THROUGHPUT[name] * CLEAN_GATE
+        assert result.throughput >= floor, (
+            f"{name}: {result.throughput:.0f} msg/s < {floor:.0f} "
+            f"({CLEAN_GATE}x seed {SEED_THROUGHPUT[name]:.0f})"
+        )
+        retries = result.counters.get("retries", 0)
+        assert retries <= CLEAN_RETRY_BUDGET, (
+            f"{name}: {retries} retransmissions on a clean channel "
+            f"(budget {CLEAN_RETRY_BUDGET}; stop-and-wait seed burned "
+            f"123/294) — the RTO estimator has regressed"
+        )
     for name in ("soak-netem-local", "soak-netem-tcp"):
         result = results[name]
         assert result.report.generated == SOAK_MESSAGES, name
         assert result.report.delivered == SOAK_MESSAGES, name
+        floor = SEED_THROUGHPUT[name] * SOAK_GATE
+        assert result.throughput >= floor, (
+            f"{name}: {result.throughput:.0f} msg/s < {floor:.0f} "
+            f"({SOAK_GATE}x seed {SEED_THROUGHPUT[name]:.0f})"
+        )
         # The adversary must really have perturbed the run.
         assert result.netem_stats.get("netem_dropped", 0) > 0, name
         assert result.netem_stats.get("netem_duplicated", 0) > 0, name

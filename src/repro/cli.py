@@ -161,6 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--deadline", type=float, default=60.0, metavar="S")
     run.add_argument(
+        "--window", type=int, default=32,
+        help="in-flight DATA window per (edge, destination) lane",
+    )
+    run.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max records packed into one wire frame",
+    )
+    run.add_argument(
+        "--wire-version", type=int, default=2, choices=[1, 2],
+        help="frame encoding: 2 = binary (default), 1 = legacy JSON",
+    )
+    run.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="write run metrics as a repro.obs/v1 JSONL artifact",
     )
@@ -471,6 +483,9 @@ def _cmd_runtime(args) -> int:
         netem=netem,
         deadline=args.deadline,
         port_base=args.port_base,
+        window=args.window,
+        max_batch=args.max_batch,
+        wire_version=args.wire_version,
     )
     try:
         result = run_cluster(spec)

@@ -138,9 +138,31 @@ def _numeric_fields(rows: Sequence[Dict[str, object]]) -> Dict[str, List[float]]
     return fields
 
 
+def _metric_table(rows: Sequence[Dict[str, object]]) -> str:
+    """One line per named metric: counters/gauges show their value,
+    histograms their distribution summary."""
+    table = []
+    for row in sorted(rows, key=lambda r: str(r.get("metric"))):
+        entry: Dict[str, object] = {
+            "metric": row.get("metric"),
+            "type": row.get("type"),
+        }
+        for key in ("value", "n", "min", "p50", "p90", "p99", "max", "mean"):
+            if key in row:
+                entry[key] = row[key]
+        table.append(entry)
+    return reporting.format_table(
+        table,
+        columns=["metric", "type", "value", "n", "min", "p50", "p90", "p99",
+                 "max", "mean"],
+        title="[metric] by name",
+    )
+
+
 def summarize_artifact(path) -> str:
-    """A human summary of one artifact: row counts per kind, then
-    nearest-rank summaries of every numeric field per kind."""
+    """A human summary of one artifact: row counts per kind, a per-name
+    metric table, then nearest-rank summaries of every numeric field per
+    kind."""
     artifact = read_artifact(path)
     lines = [f"artifact: {artifact.name or artifact.path}  ({len(artifact.rows)} rows)"]
     if artifact.meta:
@@ -149,6 +171,10 @@ def summarize_artifact(path) -> str:
     for kind, count in sorted(artifact.kinds().items()):
         kind_rows.append({"kind": kind, "rows": count})
     lines.append(reporting.format_table(kind_rows, columns=["kind", "rows"]))
+    metric_rows = artifact.rows_of_kind("metric")
+    if metric_rows:
+        lines.append("")
+        lines.append(_metric_table(metric_rows))
     for kind in sorted(artifact.kinds()):
         rows = artifact.rows_of_kind(kind)
         fields = _numeric_fields(rows)

@@ -24,6 +24,12 @@ from repro.runtime.transport import (
     Transport,
     allocate_ports,
 )
+from repro.runtime.wire import (
+    WIRE_V1,
+    WIRE_V2,
+    WireFormatError,
+    WireVersionError,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -37,6 +43,10 @@ __all__ = [
     "RuntimeResult",
     "TcpTransport",
     "Transport",
+    "WIRE_V1",
+    "WIRE_V2",
+    "WireFormatError",
+    "WireVersionError",
     "allocate_ports",
     "check_events",
     "run_cluster",

@@ -44,6 +44,7 @@ from repro.runtime.transport import (
     Transport,
     allocate_ports,
 )
+from repro.runtime.wire import WireVersionError
 
 _WORKLOADS = {
     "uniform": workload_mod.uniform_workload,
@@ -70,6 +71,9 @@ class ClusterSpec:
     tick: float = 0.005
     retry_base: float = 0.05
     retry_cap: float = 0.4
+    window: int = 32                    #: in-flight DATA per (edge, dest) lane
+    max_batch: int = 64                 #: max records packed into one frame
+    wire_version: int = 2               #: frame encoding: 2 binary, 1 JSON
     #: Test hook: (worker_index, seconds) — that worker hard-exits mid-run.
     kill_worker_after: Optional[Tuple[int, float]] = None
 
@@ -80,7 +84,11 @@ class ClusterSpec:
 
     def build_params(self) -> RuntimeParams:
         return RuntimeParams(
-            tick=self.tick, retry_base=self.retry_base, retry_cap=self.retry_cap
+            tick=self.tick,
+            retry_base=self.retry_base,
+            retry_cap=self.retry_cap,
+            window=self.window,
+            max_batch=self.max_batch,
         )
 
     def build_submissions(self) -> List[Tuple[int, int, Any, int]]:
@@ -117,6 +125,10 @@ class RuntimeResult:
     netem_stats: Dict[str, int] = field(default_factory=dict)
     hop_latencies: List[float] = field(default_factory=list)
     in_flight_samples: List[int] = field(default_factory=list)
+    rto_samples: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    ack_coalesce: List[int] = field(default_factory=list)
+    window_samples: List[int] = field(default_factory=list)
     elapsed_s: float = 0.0
     errors: List[str] = field(default_factory=list)
     interrupted: bool = False
@@ -180,6 +192,18 @@ class RuntimeResult:
         flight = registry.histogram("runtime_in_flight")
         for sample in self.in_flight_samples:
             flight.observe(sample)
+        batch = registry.histogram("runtime_batch_size")
+        for sample in self.batch_sizes:
+            batch.observe(sample)
+        coalesce = registry.histogram("runtime_ack_coalesce")
+        for sample in self.ack_coalesce:
+            coalesce.observe(sample)
+        rto = registry.histogram("runtime_rto_s")
+        for sample in self.rto_samples:
+            rto.observe(sample)
+        occupancy = registry.histogram("runtime_window_occupancy")
+        for sample in self.window_samples:
+            occupancy.observe(sample)
         msg_latency = registry.histogram("runtime_msg_latency_s")
         generated_at: Dict[int, float] = {}
         for event in self.events:
@@ -208,11 +232,17 @@ def _build_transport(
     ports: Optional[Dict[int, Tuple[str, int]]] = None,
     netem_seed: int = 0,
 ) -> Transport:
+    if spec.wire_version not in (1, 2):
+        raise ConfigurationError(
+            f"unknown wire version {spec.wire_version!r} (expected 1 or 2)"
+        )
     if spec.transport == "local":
-        base: Transport = LocalTransport(net)
+        base: Transport = LocalTransport(net, wire_version=spec.wire_version)
     elif spec.transport == "tcp":
         ports = ports or allocate_ports(net, base=spec.port_base)
-        base = TcpTransport(net, ports, local_pids=local_pids)
+        base = TcpTransport(
+            net, ports, local_pids=local_pids, wire_version=spec.wire_version
+        )
     else:
         raise ConfigurationError(f"unknown transport {spec.transport!r}")
     netem = spec.build_netem()
@@ -274,9 +304,16 @@ async def _run_nodes(
             for task in tasks:
                 if task.done() and task.exception() is not None:
                     raise task.exception()  # a node crashed: abort the run
+            if transport.protocol_errors:
+                # Mixed wire versions: no progress is possible — abort now
+                # with the readable report instead of idling to deadline.
+                raise WireVersionError(transport.protocol_errors[0])
             holder.setdefault("in_flight", []).append(
                 sum(node.in_flight() for node in nodes)
             )
+            window = holder.setdefault("window_samples", [])
+            for node in nodes:
+                window.extend(node.window_occupancy())
             await asyncio.sleep(0.02)
         # Grace period: let REL/RACK handshakes settle so the network is
         # actually empty, not merely delivered.
@@ -306,6 +343,9 @@ def _collect_inprocess(
         result.events.extend(node.events)
         _merge_counts(result.counters, node.counters)
         result.hop_latencies.extend(node.hop_latencies)
+        result.rto_samples.extend(node.rto_samples)
+        result.batch_sizes.extend(node.batch_sizes)
+        result.ack_coalesce.extend(node.ack_coalesce)
     transport = holder.get("transport")
     if transport is not None:
         _merge_counts(result.transport_stats, transport.stats)
@@ -313,6 +353,7 @@ def _collect_inprocess(
             _merge_counts(result.netem_stats, transport.fault_stats)
             _merge_counts(result.transport_stats, transport.base.stats)
     result.in_flight_samples = holder.get("in_flight", [])
+    result.window_samples = holder.get("window_samples", [])
 
 
 # -- multi-process execution ---------------------------------------------------
@@ -365,12 +406,19 @@ def _worker_main(worker_args: Dict[str, Any], stop_event, delivered, result_q) -
         "transport_stats": {},
         "netem_stats": {},
         "hop_latencies": [],
+        "rto_samples": [],
+        "batch_sizes": [],
+        "ack_coalesce": [],
         "in_flight": holder.get("in_flight", []),
+        "window_samples": holder.get("window_samples", []),
     }
     for node in holder.get("nodes", []):
         payload["events"].extend(node.events)
         _merge_counts(payload["counters"], node.counters)
         payload["hop_latencies"].extend(node.hop_latencies)
+        payload["rto_samples"].extend(node.rto_samples)
+        payload["batch_sizes"].extend(node.batch_sizes)
+        payload["ack_coalesce"].extend(node.ack_coalesce)
     transport = holder.get("transport")
     if transport is not None:
         _merge_counts(payload["transport_stats"], transport.stats)
@@ -467,7 +515,11 @@ def _run_multiprocess(spec: ClusterSpec, result: RuntimeResult) -> None:
             _merge_counts(result.transport_stats, payload["transport_stats"])
             _merge_counts(result.netem_stats, payload["netem_stats"])
             result.hop_latencies.extend(payload["hop_latencies"])
+            result.rto_samples.extend(payload.get("rto_samples", []))
+            result.batch_sizes.extend(payload.get("batch_sizes", []))
+            result.ack_coalesce.extend(payload.get("ack_coalesce", []))
             result.in_flight_samples.extend(payload["in_flight"])
+            result.window_samples.extend(payload.get("window_samples", []))
         for proc in workers:
             proc.join(timeout=2.0)
         for index, proc in enumerate(workers):

@@ -4,15 +4,22 @@
 and perturbs its ``send`` path with seeded faults — the live-runtime
 counterpart of the state model's adversarial daemon:
 
-* **latency** — every frame is delayed by a uniform draw from
-  ``latency=(lo, hi)`` seconds; unequal delays reorder frames naturally;
-* **loss** — a frame is dropped with probability ``loss``;
-* **duplication** — with probability ``dup`` a frame is delivered twice,
+Faults are drawn **per record**, not per frame: batching many DATA/ACK
+records into one frame must not weaken the adversary, so every record in
+a batch gets its own independent loss/dup/reorder/latency draws.  The
+records that survive with no delay are re-batched and forwarded in one
+``base.send``; each delayed record travels as its own single-record frame
+(which is exactly how it reorders against the rest of the batch).
+
+* **latency** — each record is delayed by a uniform draw from
+  ``latency=(lo, hi)`` seconds; unequal delays reorder records naturally;
+* **loss** — a record is dropped with probability ``loss``;
+* **duplication** — with probability ``dup`` a record is delivered twice,
   each copy with an independent delay;
-* **reordering** — with probability ``reorder`` a frame is additionally
+* **reordering** — with probability ``reorder`` a record is additionally
   held for ``reorder_extra`` seconds, pushing it behind later traffic;
 * **link flaps** — every ``flap_period`` seconds one random edge goes down
-  for ``flap_down`` seconds (frames on a down edge are dropped);
+  for ``flap_down`` seconds (records on a down edge are dropped);
 * **partitions** — ``blocked_edges`` silences a static set of undirected
   edges for the whole run.
 
@@ -27,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.runtime.transport import Transport
 from repro.types import Edge, ProcId, normalized_edge
@@ -84,8 +91,11 @@ class NetemTransport(Transport):
     """
 
     def __init__(self, base: Transport, config: NetemConfig, seed: int = 0) -> None:
-        super().__init__(base.net)
+        super().__init__(base.net, wire_version=base.wire_version)
         self.base = base
+        # Version mismatches are detected by the base transport's receive
+        # path; share the list so the cluster sees them on the decorator.
+        self.protocol_errors = base.protocol_errors
         self.config = config
         self._rng = random.Random(seed)
         self._down: Set[Edge] = set(config.blocked_edges)
@@ -131,41 +141,53 @@ class NetemTransport(Transport):
 
     # -- fault pipeline ------------------------------------------------------
 
-    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+    async def send(
+        self, src: ProcId, dst: ProcId, records: Sequence[Dict[str, Any]]
+    ) -> None:
         self._check_edge(src, dst)
         cfg = self.config
         rng = self._rng
         if normalized_edge(src, dst) in self._down:
-            self.fault_stats["netem_dropped"] += 1
+            self.fault_stats["netem_dropped"] += len(records)
             return
-        if cfg.loss and rng.random() < cfg.loss:
-            self.fault_stats["netem_dropped"] += 1
-            return
-        copies = 1
-        if cfg.dup and rng.random() < cfg.dup:
-            copies = 2
-            self.fault_stats["netem_duplicated"] += 1
-        for _ in range(copies):
-            delay = rng.uniform(*cfg.latency) if cfg.latency != (0.0, 0.0) else 0.0
-            if cfg.reorder and rng.random() < cfg.reorder:
-                delay += cfg.reorder_extra
-                self.fault_stats["netem_reordered"] += 1
-            if delay <= 0.0:
-                await self.base.send(src, dst, msg)
-            else:
-                task = asyncio.get_running_loop().create_task(
-                    self._deliver_later(delay, src, dst, msg)
+        # Per-record fault draws: the batch is torn apart, each record
+        # faulted independently, and the undelayed survivors re-batched.
+        now_batch: List[Dict[str, Any]] = []
+        for rec in records:
+            if cfg.loss and rng.random() < cfg.loss:
+                self.fault_stats["netem_dropped"] += 1
+                continue
+            copies = 1
+            if cfg.dup and rng.random() < cfg.dup:
+                copies = 2
+                self.fault_stats["netem_duplicated"] += 1
+            for _ in range(copies):
+                delay = (
+                    rng.uniform(*cfg.latency)
+                    if cfg.latency != (0.0, 0.0)
+                    else 0.0
                 )
-                self._pending.add(task)
-                task.add_done_callback(self._pending.discard)
+                if cfg.reorder and rng.random() < cfg.reorder:
+                    delay += cfg.reorder_extra
+                    self.fault_stats["netem_reordered"] += 1
+                if delay <= 0.0:
+                    now_batch.append(rec)
+                else:
+                    task = asyncio.get_running_loop().create_task(
+                        self._deliver_later(delay, src, dst, rec)
+                    )
+                    self._pending.add(task)
+                    task.add_done_callback(self._pending.discard)
+        if now_batch:
+            await self.base.send(src, dst, now_batch)
 
     async def _deliver_later(
-        self, delay: float, src: ProcId, dst: ProcId, msg: Dict[str, Any]
+        self, delay: float, src: ProcId, dst: ProcId, rec: Dict[str, Any]
     ) -> None:
         try:
             await asyncio.sleep(delay)
             if not self._closing:
-                await self.base.send(src, dst, msg)
+                await self.base.send(src, dst, [rec])
         except asyncio.CancelledError:
             pass
 

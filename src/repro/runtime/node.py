@@ -3,34 +3,44 @@
 :class:`RuntimeNode` ports the two-buffer forwarding scheme (the state
 model's rules R1-R6, via the message-passing translation of
 :mod:`repro.messagepassing.forwarding`) onto asyncio, hardened for *real*
-channels that may drop, duplicate, delay and reorder frames:
+channels that may drop, duplicate, delay and reorder frames.  Where the
+first runtime generation ran each hop lane stop-and-wait (one
+DATA/ACK/REL/RACK round trip per message), every lane is now a
+**sliding window**:
 
 ===========  ================================================================
 state model  live runtime
 ===========  ================================================================
-R1           ``generate(d)``: the head of the per-destination outbox enters
-             the free reception buffer ``buf_r[d]`` (born released)
-R2           ``commit(d)``: a *released* ``buf_r[d]`` moves to the free
-             emission buffer ``buf_e[d]``
-R3           ``DATA(d, seq, ...)`` to the next hop, retransmitted on a
-             capped-exponential timer until the matching ``ACK`` arrives;
-             the receiver accepts into ``buf_r[d]`` only the *expected*
-             lane sequence number (stop-and-wait + dedup), re-ACKs the
-             previous one (lost-ACK recovery), drops everything else
-R4           on the ``ACK`` the sender erases ``buf_e[d]`` and emits
-             ``REL``, retransmitted until the matching ``RACK``
-R2's guard   the receiver marks ``buf_r[d]`` released only when the ``REL``
-             arrives (so at most one live copy per hop, as in the paper)
-R6           ``deliver()``: at the destination, ``buf_e[pid]`` is consumed
-             and a delivery event is appended to the conformance log
+R1           ``generate``: outbox heads are sequenced straight into the
+             outgoing lane while the lane's window has space
+R2           a record is *released* (committable downstream) once the
+             upstream copy is erased; the release level travels as a
+             cumulative ``rel`` watermark piggybacked on DATA (or as a
+             standalone ``REL`` when the lane is quiet)
+R3           ``DATA(d, seq, ...)`` pipelined up to ``window`` in flight per
+             (neighbor, destination) lane; the receiver accepts any seq
+             inside the window (out-of-order ones are held and selectively
+             acknowledged), acknowledges with one *coalesced* cumulative
+             ACK + SACK bitmap per burst, and the sender retransmits on an
+             RTT-estimated timeout (RFC 6298 SRTT/RTTVAR)
+R4           a (cumulative or selective) ACK erases the sender's copy;
+             the release watermark then advances to the cumulative level
+R2's guard   the receiver forwards/delivers a record only once the
+             sender's ``rel`` watermark covers it — at most one *live*
+             copy of each message per hop, exactly as in the paper
+R6           ``deliver``: at the destination, released records are consumed
+             and delivery events appended to the conformance log
 ===========  ================================================================
 
 The sequence-number discipline is what upgrades best-effort transports to
-exactly-once: a retransmitted or transport-duplicated ``DATA`` carries an
-already-consumed ``seq`` and is answered with a (harmless, idempotent)
-``ACK`` instead of a second acceptance.  The conformance harness
-(:mod:`repro.runtime.conformance`) re-checks that claim from the event log
-of every run.
+exactly-once: a retransmitted or transport-duplicated ``DATA`` carries a
+seq at or below the receiver's cumulative level (or one already held out
+of order) and is answered with a harmless repeat ACK instead of a second
+acceptance.  Pipelining does not weaken that claim — the journal version
+of the paper (arXiv:0905.2540) derives the delivery guarantee from the
+erase/duplication discipline, not from per-message lockstep — and the
+conformance harness (:mod:`repro.runtime.conformance`) re-checks it from
+the event log of every run.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.network.graph import Network
 from repro.routing.table import RoutingService
@@ -50,26 +60,34 @@ from repro.runtime.wire import (
     DATA,
     RACK,
     REL,
-    ack_msg,
-    data_msg,
-    kind_of,
-    rack_msg,
-    rel_msg,
+    ack_rec,
+    data_rec,
+    rack_rec,
+    rel_rec,
+    sack_bitmap,
+    sack_seqs,
 )
 from repro.types import DestId, ProcId
+
+#: The SACK bitmap is 64 bits wide, so no window may exceed it.
+MAX_WINDOW = 64
 
 
 @dataclass
 class RuntimeParams:
-    """Timers of the hop protocol (seconds)."""
+    """Knobs of the windowed hop protocol (times in seconds)."""
 
-    tick: float = 0.01          #: event-loop heartbeat / stop-poll period
-    retry_base: float = 0.05    #: first retransmit timeout
-    retry_cap: float = 0.4      #: retransmit timeout ceiling
+    tick: float = 0.005         #: event-loop heartbeat / stop-poll period
+    retry_base: float = 0.05    #: RTO floor (clamps the RFC 6298 estimate)
+    retry_cap: float = 0.4      #: RTO ceiling (also caps timeout backoff)
+    rto_initial: float = 0.25   #: RTO before the first RTT sample
+    window: int = 32            #: max in-flight DATA per (neighbor, dest) lane
+    max_batch: int = 64         #: max records packed into one frame
+    recv_queue: int = 256       #: per-destination reception backlog ceiling
     max_attempts: int = 0       #: 0 = retry forever (drain deadline bounds it)
 
 
-@dataclass
+@dataclass(slots=True)
 class RuntimeRecord:
     """One stored message (uid preserved across hops, as in the model)."""
 
@@ -78,28 +96,60 @@ class RuntimeRecord:
     valid: bool
     src: ProcId     #: who handed it to us (self for generated)
     seq: int        #: lane sequence it arrived under (-1 for generated)
-    released: bool  #: the upstream copy is erased; commit allowed
 
 
-#: Lane phases: awaiting the ACK for a DATA, or the RACK for a REL.
-_DATA_WAIT, _REL_WAIT = "data", "rel"
+@dataclass(slots=True)
+class _Pending:
+    """One unacknowledged DATA record of an outgoing lane."""
 
-
-@dataclass
-class _Lane:
-    """Outstanding hop transfer for one destination (stop-and-wait)."""
-
-    nbr: ProcId
-    seq: int
-    phase: str
-    frame: Dict[str, Any]
+    rec: Dict[str, Any]
     first_sent: float
     last_sent: float
-    attempts: int = 0
+    retx: bool = False
+    sack_skips: int = 0  #: ACKs that SACKed records beyond this one
+
+
+@dataclass(slots=True)
+class _OutLane:
+    """Sender half of one (neighbor, destination) window lane."""
+
+    nbr: ProcId
+    dest: DestId
+    next_seq: int = 1
+    #: seq -> pending, ascending insertion order (dicts preserve it).
+    unacked: Dict[int, _Pending] = field(default_factory=dict)
+    rel_cum: int = 0        #: every seq <= this is erased here (released)
+    cum_seen: int = 0       #: highest cumulative ACK received on the lane
+    rel_confirmed: int = 0  #: highest release level the receiver confirmed
+    rel_sent: int = 0       #: release level last announced standalone
+    rel_backoff: int = 1
+    rel_expiry: float = 0.0
+    srtt: Optional[float] = None
+    rttvar: float = 0.0
+    rtt_max: float = 0.0    #: decayed max RTT — scheduling-stall tail guard
+    samples: int = 0        #: RTT samples taken (warmup holds RTO high)
+    rto: float = 0.25
+    backoff: int = 1
+    attempts: int = 0       #: consecutive timeout events (max_attempts cap)
+    expiry: Optional[float] = None
+
+
+@dataclass(slots=True)
+class _InLane:
+    """Receiver half of one (sender, destination) window lane."""
+
+    cum: int = 0        #: highest seq accepted in order
+    rel_cum: int = 0    #: highest release level applied
+    #: out-of-order accepted records, seq -> record.
+    ooo: Dict[int, RuntimeRecord] = field(default_factory=dict)
+    #: in-order accepted records not yet released by the sender.
+    pending: Deque[Tuple[int, RuntimeRecord]] = field(default_factory=deque)
+    ack_due: bool = False
+    coalesced: int = 0  #: DATA records covered since the last ACK went out
 
 
 class RuntimeNode:
-    """One live processor: protocol state, an inbox, and a run loop."""
+    """One live processor: window lanes, an inbox, and a run loop."""
 
     def __init__(
         self,
@@ -114,13 +164,20 @@ class RuntimeNode:
         self.routing = routing
         self.transport = transport
         self.params = params or RuntimeParams()
+        self._window = max(1, min(self.params.window, MAX_WINDOW))
+        self._rto_floor = max(0.0, self.params.retry_base)
+        self._rto_ceil = max(self.params.retry_cap, self._rto_floor)
+        self._rto_start = min(
+            max(self.params.rto_initial, self._rto_floor), self._rto_ceil
+        )
         n = net.n
-        self.buf_r: List[Optional[RuntimeRecord]] = [None] * n
-        self.buf_e: List[Optional[RuntimeRecord]] = [None] * n
-        self.outbox: List[Deque[Tuple[Any, DestId]]] = [deque() for _ in range(n)]
-        self._lanes: Dict[DestId, _Lane] = {}
-        self._out_seq: Dict[Tuple[ProcId, DestId], int] = {}
-        self._in_expected: Dict[Tuple[ProcId, DestId], int] = {}
+        #: Released records awaiting forwarding (or delivery), per dest.
+        self.fwd: List[Deque[RuntimeRecord]] = [deque() for _ in range(n)]
+        self.outbox: List[Deque[Any]] = [deque() for _ in range(n)]
+        self._out_lanes: Dict[Tuple[ProcId, DestId], _OutLane] = {}
+        self._in_lanes: Dict[Tuple[ProcId, DestId], _InLane] = {}
+        self._ack_dirty: Set[Tuple[ProcId, DestId]] = set()
+        self._active: Set[DestId] = set()
         self.inbox: "asyncio.Queue[InboxItem]" = asyncio.Queue()
         transport.bind(pid, self.inbox)
         #: Conformance event log (generated / delivered), in node order.
@@ -134,11 +191,19 @@ class RuntimeNode:
             "delivered": 0,
             "retries": 0,
             "frames_out": 0,
+            "records_out": 0,
             "dup_data_acked": 0,
-            "stale_frames_dropped": 0,
+            "stale_records_dropped": 0,
+            "recv_backpressure": 0,
         }
-        #: Hop round-trip latencies (DATA first sent -> ACK), seconds.
+        #: Hop latencies (DATA first sent -> first covering ACK), seconds.
         self.hop_latencies: List[float] = []
+        #: RTO estimate after each RTT sample, seconds.
+        self.rto_samples: List[float] = []
+        #: Records per flushed frame.
+        self.batch_sizes: List[int] = []
+        #: DATA records covered by each coalesced ACK.
+        self.ack_coalesce: List[int] = []
         self._delivered_hook = None  # cluster progress callback
 
     # -- application interface -----------------------------------------------
@@ -147,219 +212,465 @@ class RuntimeNode:
         """Queue an application send (FIFO per destination)."""
         if dest == self.pid:
             raise ValueError("self-addressed messages never enter the network")
-        self.outbox[dest].append((payload, dest))
+        self.outbox[dest].append(payload)
+        self._active.add(dest)
 
     def stop(self) -> None:
         """Ask the run loop to exit at the next heartbeat."""
         self._stopping = True
 
     def is_idle(self) -> bool:
-        """True iff no buffer, outbox, lane or inbox item holds anything."""
+        """True iff no queue, lane or inbox item holds anything."""
         return (
-            all(r is None for r in self.buf_r)
-            and all(e is None for e in self.buf_e)
+            all(not q for q in self.fwd)
             and all(not q for q in self.outbox)
-            and not self._lanes
+            and all(
+                not lane.unacked and lane.rel_confirmed >= lane.rel_cum
+                for lane in self._out_lanes.values()
+            )
+            and all(
+                not lane.pending and not lane.ooo
+                for lane in self._in_lanes.values()
+            )
             and self.inbox.empty()
         )
 
     def in_flight(self) -> int:
-        """Lanes currently awaiting an ACK or RACK."""
-        return len(self._lanes)
+        """DATA records currently awaiting acknowledgement."""
+        return sum(len(lane.unacked) for lane in self._out_lanes.values())
+
+    def window_occupancy(self) -> List[int]:
+        """Per-lane unacked counts (observability sampling)."""
+        return [len(lane.unacked) for lane in self._out_lanes.values()]
 
     # -- run loop ------------------------------------------------------------
 
     async def run(self) -> None:
-        """Drive the node until :meth:`stop`: handle inbound frames, fire
-        local rules, retransmit on timeout."""
+        """Drive the node until :meth:`stop`: handle inbound record batches,
+        fire local rules, flush coalesced outgoing batches, keep timers."""
         tick = self.params.tick
+        inbox = self.inbox
         out: List[Tuple[ProcId, Dict[str, Any]]] = []
         try:
             while not self._stopping:
-                self._advance(out)
-                await self._flush(out)
-                try:
-                    src, msg = await asyncio.wait_for(self.inbox.get(), tick)
-                except asyncio.TimeoutError:
-                    continue
-                self._handle(src, msg, out)
-                # Drain the burst that arrived while we slept.
+                # Drain the inbox *before* firing rules and timers: an ACK
+                # that arrived while this task was starved of the event
+                # loop must cancel a retransmission, not race it.
+                drained = False
+                now = 0.0
                 while True:
                     try:
-                        src, msg = self.inbox.get_nowait()
+                        src, records = inbox.get_nowait()
                     except asyncio.QueueEmpty:
                         break
-                    self._handle(src, msg, out)
+                    if not drained:
+                        drained = True
+                        now = time.monotonic()
+                    self._handle_batch(src, records, now, out)
+                self._advance(out)
+                if out:
+                    await self._flush(out)
+                if not drained:
+                    try:
+                        src, records = await asyncio.wait_for(inbox.get(), tick)
+                    except asyncio.TimeoutError:
+                        continue
+                    self._handle_batch(src, records, time.monotonic(), out)
         except asyncio.CancelledError:
             pass
 
     async def _flush(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
-        if not out:
+        """Group queued records by neighbor and ship them as batched
+        frames (at most ``max_batch`` records each)."""
+        max_batch = self.params.max_batch
+        counters = self.counters
+        if len(out) == 1:
+            dst, rec = out[0]
+            out.clear()
+            counters["frames_out"] += 1
+            counters["records_out"] += 1
+            self.batch_sizes.append(1)
+            await self.transport.send(self.pid, dst, (rec,))
             return
-        for dst, msg in out:
-            self.counters["frames_out"] += 1
-            await self.transport.send(self.pid, dst, msg)
+        batches: Dict[ProcId, List[Dict[str, Any]]] = {}
+        for dst, rec in out:
+            batches.setdefault(dst, []).append(rec)
         out.clear()
+        for dst, recs in batches.items():
+            for i in range(0, len(recs), max_batch):
+                chunk = recs[i : i + max_batch]
+                counters["frames_out"] += 1
+                counters["records_out"] += len(chunk)
+                self.batch_sizes.append(len(chunk))
+                await self.transport.send(self.pid, dst, chunk)
 
     # -- wire handlers ---------------------------------------------------------
 
-    def _handle(
-        self, src: ProcId, msg: Dict[str, Any],
+    def _handle_batch(
+        self,
+        src: ProcId,
+        records,
+        now: float,
         out: List[Tuple[ProcId, Dict[str, Any]]],
     ) -> None:
-        kind = kind_of(msg)
-        if kind is None:
-            self.counters["stale_frames_dropped"] += 1
-            return
-        try:
-            d = int(msg["d"])
-            seq = int(msg["s"])
-        except (KeyError, TypeError, ValueError):
-            self.counters["stale_frames_dropped"] += 1
-            return
-        if not 0 <= d < self.net.n:
-            self.counters["stale_frames_dropped"] += 1
-            return
-        if kind == DATA:
-            self._on_data(src, d, seq, msg, out)
-        elif kind == ACK:
-            self._on_ack(src, d, seq, out)
-        elif kind == REL:
-            self._on_rel(src, d, seq, out)
-        else:  # RACK
-            self._on_rack(src, d, seq)
+        for rec in records:
+            try:
+                kind = rec.get("k")
+                if kind == DATA:
+                    self._on_data(src, rec)
+                elif kind == ACK:
+                    self._on_ack(src, rec, now, out)
+                elif kind == REL:
+                    self._on_rel(src, rec, out)
+                elif kind == RACK:
+                    self._on_rack(src, rec)
+                else:
+                    self.counters["stale_records_dropped"] += 1
+            except (KeyError, TypeError, AttributeError):
+                self.counters["stale_records_dropped"] += 1
 
-    def _on_data(
-        self, src: ProcId, d: DestId, seq: int, msg: Dict[str, Any],
-        out: List[Tuple[ProcId, Dict[str, Any]]],
-    ) -> None:
-        expected = self._in_expected.get((src, d), 1)
-        if seq == expected:
-            if self.buf_r[d] is None:
-                self.buf_r[d] = RuntimeRecord(
-                    payload=msg.get("p"),
-                    uid=int(msg.get("u", 0)),
-                    valid=bool(msg.get("v", False)),
-                    src=src,
-                    seq=seq,
-                    released=False,
-                )
-                self._in_expected[(src, d)] = expected + 1
-                out.append((src, ack_msg(d, seq)))
-            # else: buffer busy — stay silent, the sender's timer retries.
-        elif seq == expected - 1:
-            # Retransmission (or transport duplicate) of the accepted
-            # message: the acceptance already happened, re-ACK idempotently.
+    def _in_lane(self, src: ProcId, d: DestId) -> _InLane:
+        lane = self._in_lanes.get((src, d))
+        if lane is None:
+            lane = self._in_lanes[(src, d)] = _InLane()
+        return lane
+
+    def _on_data(self, src: ProcId, rec: Dict[str, Any]) -> None:
+        d = rec["d"]
+        seq = rec["s"]
+        if not (isinstance(d, int) and 0 <= d < self.net.n):
+            self.counters["stale_records_dropped"] += 1
+            return
+        key = (src, d)
+        lane = self._in_lane(src, d)
+        if seq <= lane.cum:
+            # Retransmission (or transport duplicate) of something already
+            # accepted: the repeat ACK is harmless and idempotent.
             self.counters["dup_data_acked"] += 1
-            out.append((src, ack_msg(d, seq)))
+            lane.ack_due = True
+            self._ack_dirty.add(key)
+        elif seq == lane.cum + 1:
+            if len(lane.pending) + len(self.fwd[d]) >= self.params.recv_queue:
+                # Backpressure: stay silent, the sender's timer retries.
+                self.counters["recv_backpressure"] += 1
+                return
+            lane.cum = seq
+            lane.pending.append((seq, self._record_of(src, rec)))
+            lane.coalesced += 1
+            while lane.cum + 1 in lane.ooo:
+                lane.cum += 1
+                lane.pending.append((lane.cum, lane.ooo.pop(lane.cum)))
+                lane.coalesced += 1
+            lane.ack_due = True
+            self._ack_dirty.add(key)
+        elif seq <= lane.cum + MAX_WINDOW:
+            # Accept the full SACK-bitmap width beyond cum (not just the
+            # sender's configured window): SACK pops let the sender's new
+            # sequence numbers run ahead of the cumulative frontier.
+            if seq in lane.ooo:
+                self.counters["dup_data_acked"] += 1
+            elif (
+                len(lane.ooo) + len(lane.pending) + len(self.fwd[d])
+                >= self.params.recv_queue
+            ):
+                self.counters["recv_backpressure"] += 1
+                return
+            else:
+                lane.ooo[seq] = self._record_of(src, rec)
+                lane.coalesced += 1
+            lane.ack_due = True
+            self._ack_dirty.add(key)
         else:
-            self.counters["stale_frames_dropped"] += 1
+            # Beyond the window: forged, wildly reordered, or stale.
+            self.counters["stale_records_dropped"] += 1
+            return
+        self._apply_release(lane, d, rec["r"])
+
+    def _record_of(self, src: ProcId, rec: Dict[str, Any]) -> RuntimeRecord:
+        return RuntimeRecord(
+            payload=rec.get("p"),
+            uid=int(rec.get("u", 0)),
+            valid=bool(rec.get("v", False)),
+            src=src,
+            seq=rec["s"],
+        )
+
+    def _apply_release(self, lane: _InLane, d: DestId, rel: int) -> None:
+        """Commit every pending record the sender has erased (<= ``rel``) —
+        rule R2's guard, now a cumulative watermark."""
+        if rel <= lane.rel_cum:
+            return
+        effective = min(rel, lane.cum)
+        if effective <= lane.rel_cum:
+            return
+        lane.rel_cum = effective
+        pending = lane.pending
+        fwd = self.fwd[d]
+        moved = False
+        while pending and pending[0][0] <= effective:
+            fwd.append(pending.popleft()[1])
+            moved = True
+        if moved:
+            self._active.add(d)
 
     def _on_ack(
-        self, src: ProcId, d: DestId, seq: int,
+        self,
+        src: ProcId,
+        rec: Dict[str, Any],
+        now: float,
         out: List[Tuple[ProcId, Dict[str, Any]]],
     ) -> None:
-        lane = self._lanes.get(d)
-        if (
-            lane is None
-            or lane.phase != _DATA_WAIT
-            or lane.nbr != src
-            or lane.seq != seq
-        ):
-            return  # duplicate/stale ACK
-        self.hop_latencies.append(time.monotonic() - lane.first_sent)
-        self.buf_e[d] = None  # R4: erase our copy
-        now = time.monotonic()
-        lane.phase = _REL_WAIT
-        lane.frame = rel_msg(d, seq)
-        lane.first_sent = now
-        lane.last_sent = now
-        lane.attempts = 0
-        out.append((src, lane.frame))
+        d = rec["d"]
+        lane = self._out_lanes.get((src, d))
+        if lane is None:
+            return  # stale ACK for a lane we never opened
+        cum = rec["c"]
+        newly: List[int] = []
+        for seq in lane.unacked:  # ascending: inserted in seq order
+            if seq > cum:
+                break
+            newly.append(seq)
+        bits = rec["b"]
+        sacked_max = 0
+        if bits:
+            for seq in sack_seqs(cum, bits):
+                sacked_max = seq
+                if seq in lane.unacked:
+                    newly.append(seq)
+        if newly:
+            for seq in newly:
+                pending = lane.unacked.pop(seq)
+                self.hop_latencies.append(now - pending.first_sent)
+                if not pending.retx:
+                    self._rtt_sample(lane, now - pending.first_sent)
+        if cum > lane.cum_seen:
+            lane.cum_seen = cum
+            # Only *cumulative* progress restarts the retransmission timer:
+            # a hole at the head must not be starved by SACKs for the
+            # traffic flowing past it.
+            lane.backoff = 1
+            lane.attempts = 0
+            lane.expiry = (now + lane.rto) if lane.unacked else None
+        elif not lane.unacked:
+            lane.expiry = None
+        if sacked_max:
+            # Fast retransmit: records the receiver SACKed around are holes.
+            # Three strikes (dup-ack threshold), then resend without waiting
+            # for the RTO — but give each resend one RTT to land first.
+            grace = lane.srtt if lane.srtt is not None else lane.rto
+            for seq, pending in lane.unacked.items():
+                if seq >= sacked_max:
+                    break
+                pending.sack_skips += 1
+                if pending.sack_skips >= 3 and now - pending.last_sent >= grace:
+                    pending.sack_skips = 0
+                    pending.retx = True
+                    pending.last_sent = now
+                    pending.rec["r"] = lane.rel_cum
+                    out.append((lane.nbr, pending.rec))
+                    self.counters["retries"] += 1
+        if cum > lane.rel_cum:
+            # R4, cumulative: everything <= cum is erased here, so the
+            # release watermark may advance (piggybacked on the next DATA,
+            # or announced standalone by the timer loop).
+            lane.rel_cum = cum
+        rel_seen = rec["r"]
+        if rel_seen > lane.rel_confirmed:
+            lane.rel_confirmed = rel_seen
+            lane.rel_backoff = 1
 
     def _on_rel(
-        self, src: ProcId, d: DestId, seq: int,
+        self,
+        src: ProcId,
+        rec: Dict[str, Any],
         out: List[Tuple[ProcId, Dict[str, Any]]],
     ) -> None:
-        if seq >= self._in_expected.get((src, d), 1):
-            self.counters["stale_frames_dropped"] += 1
-            return  # REL for a DATA we never accepted: forged or reordered
-        rec = self.buf_r[d]
-        if rec is not None and rec.src == src and rec.seq == seq:
-            rec.released = True
-        # Idempotent: a REL for an already-committed record still RACKs.
-        out.append((src, rack_msg(d, seq)))
+        d = rec["d"]
+        if not (isinstance(d, int) and 0 <= d < self.net.n):
+            self.counters["stale_records_dropped"] += 1
+            return
+        rel = rec["r"]
+        lane = self._in_lanes.get((src, d))
+        if lane is None or rel > lane.cum:
+            # Release for records we never accepted: forged or reordered
+            # across a reset.  Never confirm more than we applied.
+            self.counters["stale_records_dropped"] += 1
+            return
+        self._apply_release(lane, d, rel)
+        # Idempotent: a REL for an already-released level still RACKs.
+        out.append((src, rack_rec(d, lane.rel_cum)))
 
-    def _on_rack(self, src: ProcId, d: DestId, seq: int) -> None:
-        lane = self._lanes.get(d)
-        if (
-            lane is not None
-            and lane.phase == _REL_WAIT
-            and lane.nbr == src
-            and lane.seq == seq
-        ):
-            del self._lanes[d]  # lane free: next message may go out
+    def _on_rack(self, src: ProcId, rec: Dict[str, Any]) -> None:
+        lane = self._out_lanes.get((src, rec["d"]))
+        if lane is None:
+            return
+        rel = rec["r"]
+        if rel > lane.rel_confirmed:
+            lane.rel_confirmed = rel
+            lane.rel_backoff = 1
 
     # -- local rules -----------------------------------------------------------
 
+    def _out_lane(self, nbr: ProcId, d: DestId) -> _OutLane:
+        lane = self._out_lanes.get((nbr, d))
+        if lane is None:
+            lane = self._out_lanes[(nbr, d)] = _OutLane(
+                nbr=nbr, dest=d, rto=self._rto_start
+            )
+        return lane
+
     def _advance(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
         now = time.monotonic()
-        for d in range(self.net.n):
-            rec = self.buf_r[d]
-            # R1: generate into a free reception buffer (born released).
-            if rec is None and self.outbox[d]:
-                payload, _ = self.outbox[d].popleft()
-                uid = self._next_uid
-                self._next_uid += self.net.n
-                rec = self.buf_r[d] = RuntimeRecord(
-                    payload=payload, uid=uid, valid=True,
-                    src=self.pid, seq=-1, released=True,
-                )
-                self.counters["generated"] += 1
-                self._append_event("generated", uid, dest=d)
-            # R2: commit a released reception buffer to a free emission one.
-            if rec is not None and rec.released and self.buf_e[d] is None:
-                self.buf_e[d] = rec
-                self.buf_r[d] = None
-            held = self.buf_e[d]
-            if held is None:
-                continue
-            if d == self.pid:
-                # R6: consume at the destination.
-                self.buf_e[d] = None
-                self.counters["delivered"] += 1
-                self._append_event("delivered", held.uid, dest=d, valid=held.valid)
-                if self._delivered_hook is not None:
-                    self._delivered_hook()
-            elif d not in self._lanes:
-                # R3: offer to the next hop, stop-and-wait per destination.
-                nbr = self.routing.next_hop(self.pid, d)
-                seq = self._out_seq.get((nbr, d), 1)
-                self._out_seq[(nbr, d)] = seq + 1
-                frame = data_msg(d, seq, held.uid, held.payload, held.valid)
-                self._lanes[d] = _Lane(
-                    nbr=nbr, seq=seq, phase=_DATA_WAIT, frame=frame,
-                    first_sent=now, last_sent=now,
-                )
-                out.append((nbr, frame))
-        self._retransmit(now, out)
+        if self._ack_dirty:
+            self._emit_acks(out)
+        if self._active:
+            for d in list(self._active):
+                fwd = self.fwd[d]
+                box = self.outbox[d]
+                if d == self.pid:
+                    # R6: consume at the destination.
+                    while fwd:
+                        record = fwd.popleft()
+                        self.counters["delivered"] += 1
+                        self._append_event(
+                            "delivered", record.uid, dest=d, valid=record.valid
+                        )
+                        if self._delivered_hook is not None:
+                            self._delivered_hook()
+                    self._active.discard(d)
+                    continue
+                lane = self._out_lane(self.routing.next_hop(self.pid, d), d)
+                window = self._window
+                unacked = lane.unacked
+                # Two send gates: the in-flight window, and the receiver's
+                # acceptance horizon (cum + MAX_WINDOW, the bitmap width).
+                while (
+                    len(unacked) < window
+                    and lane.next_seq <= lane.cum_seen + MAX_WINDOW
+                    and (fwd or box)
+                ):
+                    if fwd:
+                        record = fwd.popleft()
+                    else:
+                        # R1: generate straight into the lane (born released).
+                        payload = box.popleft()
+                        uid = self._next_uid
+                        self._next_uid += self.net.n
+                        record = RuntimeRecord(
+                            payload=payload, uid=uid, valid=True,
+                            src=self.pid, seq=-1,
+                        )
+                        self.counters["generated"] += 1
+                        self._append_event("generated", uid, dest=d)
+                    # R3: pipeline into the window.
+                    seq = lane.next_seq
+                    lane.next_seq = seq + 1
+                    rec = data_rec(
+                        d, seq, record.uid, record.payload, record.valid,
+                        lane.rel_cum,
+                    )
+                    unacked[seq] = _Pending(rec, now, now)
+                    if lane.expiry is None:
+                        lane.expiry = now + lane.rto
+                    out.append((lane.nbr, rec))
+                if not fwd and not box:
+                    self._active.discard(d)
+        self._timers(now, out)
 
-    def _retransmit(
+    def _emit_acks(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
+        """One coalesced ACK per dirty lane: cumulative + SACK bitmap +
+        the applied release level."""
+        for key in self._ack_dirty:
+            src, d = key
+            lane = self._in_lanes[key]
+            if not lane.ack_due:
+                continue
+            lane.ack_due = False
+            bits = sack_bitmap(lane.cum, lane.ooo) if lane.ooo else 0
+            out.append((src, ack_rec(d, lane.cum, bits, lane.rel_cum)))
+            self.ack_coalesce.append(lane.coalesced)
+            lane.coalesced = 0
+        self._ack_dirty.clear()
+
+    def _rtt_sample(self, lane: _OutLane, rtt: float) -> None:
+        """RFC 6298: SRTT/RTTVAR smoothing, RTO clamped to the configured
+        floor/ceiling.  Only never-retransmitted records sample (Karn)."""
+        if lane.srtt is None:
+            lane.srtt = rtt
+            lane.rttvar = rtt / 2.0
+        else:
+            lane.rttvar = 0.75 * lane.rttvar + 0.25 * abs(lane.srtt - rtt)
+            lane.srtt = 0.875 * lane.srtt + 0.125 * rtt
+        # Smoothed estimators forget tail spikes quickly, but a cooperative
+        # event loop stalls in bursts — keep a slowly decaying max so the
+        # RTO stays above the recently observed worst case.
+        lane.rtt_max = max(rtt, lane.rtt_max * 0.999)
+        rto = max(
+            lane.srtt + max(4.0 * lane.rttvar, self.params.tick),
+            lane.rtt_max * 2.0,
+        )
+        lane.samples += 1
+        if lane.samples < 64:
+            # Warmup: the startup burst is the most contended stretch of
+            # the whole run, and a handful of fast early samples must not
+            # collapse the RTO before the lane has seen its tail.
+            rto = max(rto, self._rto_start)
+        lane.rto = min(max(rto, self._rto_floor), self._rto_ceil)
+        self.rto_samples.append(lane.rto)
+
+    def _timers(
         self, now: float, out: List[Tuple[ProcId, Dict[str, Any]]]
     ) -> None:
         params = self.params
-        for lane in self._lanes.values():
-            timeout = min(
-                params.retry_base * (2 ** lane.attempts), params.retry_cap
-            )
-            if now - lane.last_sent < timeout:
-                continue
-            if params.max_attempts and lane.attempts >= params.max_attempts:
-                continue
-            lane.last_sent = now
-            lane.attempts += 1
-            self.counters["retries"] += 1
-            out.append((lane.nbr, lane.frame))
+        for lane in self._out_lanes.values():
+            if lane.unacked:
+                if lane.expiry is None or now < lane.expiry:
+                    continue
+                if params.max_attempts and lane.attempts >= params.max_attempts:
+                    continue
+                lane.attempts += 1
+                if lane.backoff == 1:
+                    # First expiry since the lane last made progress: this
+                    # is far more often a scheduling stall than a loss, so
+                    # probe with the head-of-line record only (tail-loss
+                    # probe).  A real head loss is repaired by exactly this
+                    # record; a spurious timeout costs one duplicate.
+                    head = next(iter(lane.unacked))
+                    resend = [lane.unacked[head]]
+                else:
+                    # Still no progress after the probe: assume the window
+                    # is gone and retransmit everything old enough that an
+                    # ACK for it should already have arrived.  (SACKed
+                    # records were erased from ``unacked`` on arrival, so
+                    # nothing is resent needlessly.)
+                    resend = [
+                        p
+                        for p in lane.unacked.values()
+                        if now - p.last_sent >= lane.rto
+                    ]
+                for pending in resend:
+                    pending.retx = True
+                    pending.last_sent = now
+                    pending.rec["r"] = lane.rel_cum
+                    out.append((lane.nbr, pending.rec))
+                    self.counters["retries"] += 1
+                lane.backoff = min(lane.backoff * 2, 64)
+                lane.expiry = now + min(lane.rto * lane.backoff, self._rto_ceil)
+            elif lane.rel_confirmed < lane.rel_cum:
+                # Quiet lane with unconfirmed releases: standalone REL,
+                # retransmitted on its own backed-off timer.
+                if now < lane.rel_expiry:
+                    continue
+                out.append((lane.nbr, rel_rec(lane.dest, lane.rel_cum)))
+                if lane.rel_sent == lane.rel_cum:
+                    self.counters["retries"] += 1
+                    lane.rel_backoff = min(lane.rel_backoff * 2, 64)
+                else:
+                    lane.rel_sent = lane.rel_cum
+                    lane.rel_backoff = 1
+                lane.rel_expiry = now + min(
+                    lane.rto * lane.rel_backoff, self._rto_ceil
+                )
 
     # -- events ----------------------------------------------------------------
 

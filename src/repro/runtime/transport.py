@@ -2,15 +2,24 @@
 
 A :class:`Transport` moves encoded frames (:mod:`repro.runtime.wire`)
 between nodes along the edges of a :class:`~repro.network.graph.Network`.
-Delivery is **best-effort**: a transport may drop, duplicate, delay or
-reorder frames (the in-memory one does none of that by itself; the netem
-decorator and real TCP both do).  End-to-end guarantees are the node
-protocol's job — hop-level ack/retry plus sequence-number deduplication
-(:mod:`repro.runtime.node`).
+Since the windowed lane protocol, the unit of transfer is a **record
+batch**: ``send(src, dst, records)`` packs any number of hop-protocol
+records into one length-prefixed frame, so encode and syscall cost
+amortize over a node's whole flush.  Delivery is **best-effort**: a
+transport may drop, duplicate, delay or reorder frames (the in-memory one
+does none of that by itself; the netem decorator and real TCP both do).
+End-to-end guarantees are the node protocol's job — windowed ack/retry
+plus sequence-number deduplication (:mod:`repro.runtime.node`).
+
+Each transport is locked to one wire protocol version (binary v2 by
+default, JSON v1 as the legacy fallback).  A frame of the *other* version
+is never silently dropped: it is recorded as a readable entry in
+:attr:`Transport.protocol_errors`, which the cluster surfaces as a failed
+(and conformance-FAILed) run instead of a hang.
 
 Two implementations:
 
-* :class:`LocalTransport` — per-node asyncio queues.  Frames still go
+* :class:`LocalTransport` — per-node asyncio queues.  Batches still go
   through an encode/decode round-trip so serialization bugs surface
   identically on either transport.
 * :class:`TcpTransport` — real sockets on the loopback (or any) interface:
@@ -18,37 +27,56 @@ Two implementations:
   connection per *directed edge*, length-prefixed framing, and reconnect
   with capped exponential backoff.  A peer that is down does not block the
   sender: frames queue on the edge (bounded; overflow drops the oldest)
-  and a per-edge pump task drains them as soon as the connection is back.
+  and a per-edge pump task drains them as soon as the connection is back —
+  coalescing every queued frame into a single write.
 """
 
 from __future__ import annotations
 
 import asyncio
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.network.graph import Network
-from repro.runtime.wire import decode_body, encode_frame, split_frames
+from repro.runtime.wire import (
+    WIRE_V2,
+    WireFormatError,
+    WireVersionError,
+    decode_frame_body,
+    encode_records,
+    expect_version,
+    split_frames,
+)
 from repro.types import ProcId
 
-#: One inbox item: (sender pid, decoded hop message).
-InboxItem = Tuple[ProcId, Dict[str, Any]]
+#: One inbox item: (sender pid, decoded record batch).
+InboxItem = Tuple[ProcId, List[Dict[str, Any]]]
+
+#: Cap on recorded protocol errors (a chatty mismatched peer must not
+#: grow the list unboundedly before the cluster reacts).
+_MAX_PROTOCOL_ERRORS = 8
 
 
 class Transport(ABC):
-    """Moves hop messages between nodes along network edges."""
+    """Moves hop record batches between nodes along network edges."""
 
-    def __init__(self, net: Network) -> None:
+    def __init__(self, net: Network, wire_version: int = WIRE_V2) -> None:
         self.net = net
+        self.wire_version = wire_version
         self._inboxes: Dict[ProcId, "asyncio.Queue[InboxItem]"] = {}
         #: Plain counters (exported into the obs registry by the cluster).
         self.stats: Dict[str, int] = {
             "frames_sent": 0,
             "frames_received": 0,
             "frames_dropped": 0,
+            "records_sent": 0,
+            "records_received": 0,
             "reconnects": 0,
         }
+        #: Readable wire-version mismatch reports (mixed-version cluster);
+        #: the cluster aborts the run as soon as one appears.
+        self.protocol_errors: List[str] = []
 
     def bind(self, pid: ProcId, inbox: "asyncio.Queue[InboxItem]") -> None:
         """Attach the inbox of a locally hosted node."""
@@ -58,21 +86,30 @@ class Transport(ABC):
         if not self.net.are_neighbors(src, dst):
             raise ConfigurationError(f"no edge {src} -> {dst} in the network")
 
-    def _dispatch(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
-        """Hand a decoded message to a local inbox (drop if unknown)."""
+    def _record_protocol_error(self, message: str) -> None:
+        if len(self.protocol_errors) < _MAX_PROTOCOL_ERRORS:
+            self.protocol_errors.append(message)
+
+    def _dispatch(
+        self, src: ProcId, dst: ProcId, records: List[Dict[str, Any]]
+    ) -> None:
+        """Hand a decoded record batch to a local inbox (drop if unknown)."""
         inbox = self._inboxes.get(dst)
         if inbox is None:
             self.stats["frames_dropped"] += 1
             return
         self.stats["frames_received"] += 1
-        inbox.put_nowait((src, msg))
+        self.stats["records_received"] += len(records)
+        inbox.put_nowait((src, records))
 
     async def start(self) -> None:
         """Bring the transport up (bind sockets, start pumps)."""
 
     @abstractmethod
-    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
-        """Best-effort: enqueue one hop message from ``src`` to ``dst``."""
+    async def send(
+        self, src: ProcId, dst: ProcId, records: Sequence[Dict[str, Any]]
+    ) -> None:
+        """Best-effort: enqueue one record batch from ``src`` to ``dst``."""
 
     async def close(self) -> None:
         """Tear the transport down; pending frames may be lost."""
@@ -81,12 +118,17 @@ class Transport(ABC):
 class LocalTransport(Transport):
     """In-memory transport: every node lives in this process."""
 
-    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+    async def send(
+        self, src: ProcId, dst: ProcId, records: Sequence[Dict[str, Any]]
+    ) -> None:
         self._check_edge(src, dst)
         self.stats["frames_sent"] += 1
+        self.stats["records_sent"] += len(records)
         # Round-trip through the wire format so both transports reject the
         # same payloads (and measure comparable serialization cost).
-        self._dispatch(src, dst, decode_body(encode_frame(msg)[4:]))
+        frame = encode_records(src, dst, records, self.wire_version)
+        _, f, t, decoded = decode_frame_body(frame[4:])
+        self._dispatch(f, t, decoded)
 
 
 class TcpTransport(Transport):
@@ -102,6 +144,8 @@ class TcpTransport(Transport):
     local_pids:
         The nodes hosted by this process; one listening server is started
         for each.
+    wire_version:
+        The frame encoding this process speaks (v2 binary by default).
     backoff_base / backoff_cap:
         Reconnect backoff: ``base * 2**attempt`` seconds, capped.
     edge_queue:
@@ -114,11 +158,12 @@ class TcpTransport(Transport):
         net: Network,
         ports: Dict[ProcId, Tuple[str, int]],
         local_pids: Optional[Tuple[ProcId, ...]] = None,
+        wire_version: int = WIRE_V2,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
         edge_queue: int = 1024,
     ) -> None:
-        super().__init__(net)
+        super().__init__(net, wire_version=wire_version)
         missing = [p for p in net.processors() if p not in ports]
         if missing:
             raise ConfigurationError(f"ports missing for processors {missing}")
@@ -143,7 +188,7 @@ class TcpTransport(Transport):
         for pid in self.local_pids:
             host, port = self.ports[pid]
             server = await asyncio.start_server(
-                self._make_conn_handler(pid), host=host, port=port
+                self._conn_handler, host=host, port=port
             )
             self._servers.append(server)
 
@@ -168,50 +213,50 @@ class TcpTransport(Transport):
 
     # -- receiving -----------------------------------------------------------
 
-    def _make_conn_handler(self, pid: ProcId):
-        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-            buffer = b""
-            try:
-                while True:
-                    chunk = await reader.read(65536)
-                    if not chunk:
-                        break
-                    buffer += chunk
-                    try:
-                        bodies, buffer = split_frames(buffer)
-                    except ValueError:
-                        self.stats["frames_dropped"] += 1
-                        break  # corrupted stream: drop the connection
-                    for body in bodies:
-                        try:
-                            envelope = decode_body(body)
-                            src = int(envelope["f"])
-                            dst = int(envelope["t"])
-                            msg = envelope["m"]
-                        except (ValueError, KeyError, TypeError):
-                            self.stats["frames_dropped"] += 1
-                            continue
-                        if not isinstance(msg, dict):
-                            self.stats["frames_dropped"] += 1
-                            continue
-                        self._dispatch(src, dst, msg)
-            except (ConnectionError, asyncio.CancelledError):
-                pass
-            finally:
+    async def _conn_handler(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        buffer = b""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
                 try:
-                    writer.close()
-                except Exception:  # noqa: BLE001
-                    pass
-
-        return handle
+                    bodies, buffer = split_frames(buffer)
+                except WireFormatError:
+                    self.stats["frames_dropped"] += 1
+                    break  # corrupted stream: drop the connection
+                for body in bodies:
+                    try:
+                        version, src, dst, records = decode_frame_body(body)
+                        expect_version(version, self.wire_version)
+                    except WireVersionError as exc:
+                        self._record_protocol_error(str(exc))
+                        self.stats["frames_dropped"] += 1
+                        continue
+                    except WireFormatError:
+                        self.stats["frames_dropped"] += 1
+                        continue
+                    self._dispatch(src, dst, records)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
 
     # -- sending -------------------------------------------------------------
 
-    async def send(self, src: ProcId, dst: ProcId, msg: Dict[str, Any]) -> None:
+    async def send(
+        self, src: ProcId, dst: ProcId, records: Sequence[Dict[str, Any]]
+    ) -> None:
         self._check_edge(src, dst)
         if src not in self._inboxes and src not in self.local_pids:
             raise ConfigurationError(f"processor {src} is not hosted here")
-        frame = encode_frame({"f": src, "t": dst, "m": msg})
+        frame = encode_records(src, dst, records, self.wire_version)
         key = (src, dst)
         queue = self._edge_queues.get(key)
         if queue is None:
@@ -227,10 +272,12 @@ class TcpTransport(Transport):
             self.stats["frames_dropped"] += 1
         queue.put_nowait(frame)
         self.stats["frames_sent"] += 1
+        self.stats["records_sent"] += len(records)
 
     async def _edge_pump(self, key: Tuple[ProcId, ProcId]) -> None:
         """Drain one directed edge's queue over a persistent connection,
-        reconnecting with capped exponential backoff."""
+        reconnecting with capped exponential backoff.  Every frame queued
+        at write time is coalesced into a single socket write."""
         _, dst = key
         host, port = self.ports[dst]
         queue = self._edge_queues[key]
@@ -238,7 +285,14 @@ class TcpTransport(Transport):
         backoff = self.backoff_base
         try:
             while True:
-                frame = await queue.get()
+                blob = await queue.get()
+                # Write coalescing: everything queued behind the first
+                # frame goes out in the same syscall.
+                while True:
+                    try:
+                        blob += queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
                 while not self._closing:
                     if writer is None:
                         try:
@@ -250,7 +304,7 @@ class TcpTransport(Transport):
                             backoff = min(backoff * 2, self.backoff_cap)
                             continue
                     try:
-                        writer.write(frame)
+                        writer.write(blob)
                         await writer.drain()
                         break
                     except (ConnectionError, OSError):

@@ -1,40 +1,61 @@
-"""Wire format of the live runtime.
+"""Wire formats of the live runtime.
 
-Every hop-level protocol message is a small JSON object; on the network it
-travels as one *frame* — a 4-byte big-endian length prefix followed by the
-UTF-8 JSON body.  Both transports speak frames (the in-memory transport
-round-trips them too, so a payload that cannot be serialized fails
-identically on either transport instead of only in production).
+On the network every transmission is one *frame* — a 4-byte big-endian
+length prefix followed by a frame body.  A body holds an **envelope**
+(protocol version, sender pid, receiver pid) and a **batch** of hop
+protocol records, so one flush of a node's outgoing buffer amortizes
+syscall and encode cost over the whole congestion window.
 
-Hop protocol message kinds (see :mod:`repro.runtime.node` for the rules):
+Two body encodings exist behind one seam:
+
+* **v2 (default)** — compact binary: a struct-packed header
+  ``(version, src, dst, count)`` followed by ``count`` struct-packed
+  records; ``DATA`` payloads travel as length-prefixed JSON bytes.
+* **v1 (legacy / fallback)** — the original JSON object encoding,
+  batched under a ``"ms"`` key.
+
+The first body byte discriminates: ``0x7B`` (``{``) is a v1 JSON object,
+``0x02`` is the v2 version tag.  :func:`decode_frame_body` parses either
+and reports which it saw, so a node locked to one version can raise a
+*readable* :class:`WireVersionError` on a mixed-version cluster instead
+of a struct traceback or a silent hang.
+
+Hop protocol record kinds (see :mod:`repro.runtime.node` for the window
+protocol that produces them):
 
 ``DATA``
-    Carries one stored message ``(dest, seq, uid, payload, valid)`` one hop
-    toward its destination.  ``seq`` is a per-(sender, receiver, dest) lane
-    sequence number; the receiver uses it to deduplicate retransmissions
-    and transport-level duplicates.
+    Carries one stored message ``(dest, seq, uid, payload, valid)`` one
+    hop toward its destination.  ``seq`` is a per-(sender, receiver,
+    dest) lane sequence number; ``rel`` piggybacks the sender's
+    cumulative release level (every seq <= ``rel`` has been erased
+    upstream, so the receiver may commit those records — rule R2's
+    guard, carried over the wire).
 ``ACK``
-    The receiver accepted ``(dest, seq)`` into its reception buffer (or
-    already had) — the sender may erase its emission buffer.
+    Cumulative: the receiver has accepted every seq <= ``cum`` in order,
+    plus the out-of-order seqs flagged in the 64-bit ``sack`` bitmap
+    (bit *i* = seq ``cum + 1 + i``).  ``rel_seen`` echoes the highest
+    release level the receiver has applied, confirming REL delivery.
 ``REL``
-    The sender has erased its copy of ``(dest, seq)``; the receiver may
-    commit the reception buffer to its emission buffer (rule R2's guard,
-    carried over the wire).
+    Standalone cumulative release (used when no DATA is in flight to
+    piggyback on): every seq <= ``rel`` is erased at the sender.
 ``RACK``
-    The receiver processed the ``REL`` — the sender's lane is free for the
-    next message.
+    Reply to a standalone ``REL``: the receiver has applied releases up
+    to ``rel`` — the sender may stop retransmitting the REL.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 
-#: Hop-protocol message kinds.
+#: Hop-protocol record kinds.
 DATA, ACK, REL, RACK = "DATA", "ACK", "REL", "RACK"
+
+#: Wire protocol versions.
+WIRE_V1, WIRE_V2 = 1, 2
 
 _LEN = struct.Struct(">I")
 
@@ -43,14 +64,218 @@ _LEN = struct.Struct(">I")
 MAX_FRAME = 1 << 20
 
 
-def encode_frame(msg: Dict[str, Any]) -> bytes:
-    """Serialize one message dict to a length-prefixed frame."""
+class WireFormatError(ReproError, ValueError):
+    """A frame body that cannot be decoded: truncated, corrupted, or
+    structurally invalid.  Always carries a readable message — codec
+    internals (``struct.error``, ``json.JSONDecodeError``) never leak."""
+
+
+class WireVersionError(WireFormatError):
+    """A well-formed frame of the *wrong* protocol version reached a node
+    locked to another one (mixed-version cluster)."""
+
+
+# -- record constructors (plain dicts; kept tiny and allocation-light) --------
+
+
+def data_rec(
+    dest: int, seq: int, uid: int, payload: Any, valid: bool, rel: int = 0
+) -> Dict[str, Any]:
+    """A ``DATA`` record (``rel`` piggybacks the cumulative release)."""
+    return {"k": DATA, "d": dest, "s": seq, "u": uid, "p": payload,
+            "v": valid, "r": rel}
+
+
+def ack_rec(dest: int, cum: int, sack: int = 0, rel_seen: int = 0) -> Dict[str, Any]:
+    """An ``ACK`` record: cumulative + selective-ack bitmap."""
+    return {"k": ACK, "d": dest, "c": cum, "b": sack, "r": rel_seen}
+
+
+def rel_rec(dest: int, rel: int) -> Dict[str, Any]:
+    """A standalone cumulative ``REL`` record."""
+    return {"k": REL, "d": dest, "r": rel}
+
+
+def rack_rec(dest: int, rel: int) -> Dict[str, Any]:
+    """A ``RACK`` record confirming releases up to ``rel``."""
+    return {"k": RACK, "d": dest, "r": rel}
+
+
+def kind_of(rec: Dict[str, Any]) -> Optional[str]:
+    """The hop-protocol kind of a decoded record (None if malformed)."""
+    kind = rec.get("k")
+    return kind if kind in (DATA, ACK, REL, RACK) else None
+
+
+# -- v2 binary codec ----------------------------------------------------------
+
+_HEADER = struct.Struct(">BHHH")          # version, src, dst, record count
+_KIND_DATA, _KIND_ACK, _KIND_REL, _KIND_RACK = 1, 2, 3, 4
+_DATA_HDR = struct.Struct(">BHIQBII")     # kind, d, seq, uid, flags, rel, plen
+_ACK_REC = struct.Struct(">BHIQI")        # kind, d, cum, sack, rel_seen
+_REL_REC = struct.Struct(">BHI")          # kind, d, rel
+_FLAG_VALID = 1
+#: Payload encoding tag, stored in flags bits 1-2.  Plain strings and ints
+#: (the overwhelmingly common payloads) skip JSON on both sides of the
+#: wire; everything else falls back to compact JSON.
+_PTYPE_JSON, _PTYPE_STR, _PTYPE_INT = 0, 1, 2
+
+
+def _encode_v2(src: int, dst: int, records: Sequence[Dict[str, Any]]) -> bytes:
+    parts: List[bytes] = [_HEADER.pack(WIRE_V2, src, dst, len(records))]
     try:
-        body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+        for rec in records:
+            kind = rec["k"]
+            if kind == DATA:
+                ptype, payload = _payload_bytes(rec["p"])
+                flags = (_FLAG_VALID if rec["v"] else 0) | (ptype << 1)
+                parts.append(
+                    _DATA_HDR.pack(
+                        _KIND_DATA, rec["d"], rec["s"], rec["u"],
+                        flags, rec["r"], len(payload),
+                    )
+                )
+                parts.append(payload)
+            elif kind == ACK:
+                parts.append(
+                    _ACK_REC.pack(_KIND_ACK, rec["d"], rec["c"], rec["b"], rec["r"])
+                )
+            elif kind == REL:
+                parts.append(_REL_REC.pack(_KIND_REL, rec["d"], rec["r"]))
+            elif kind == RACK:
+                parts.append(_REL_REC.pack(_KIND_RACK, rec["d"], rec["r"]))
+            else:
+                raise WireFormatError(f"unknown record kind {kind!r}")
+    except (struct.error, KeyError, TypeError) as exc:
+        raise WireFormatError(f"record not encodable as wire v2: {exc}") from None
+    return b"".join(parts)
+
+
+def _payload_bytes(payload: Any) -> Tuple[int, bytes]:
+    if type(payload) is str:
+        return _PTYPE_STR, payload.encode("utf-8")
+    if type(payload) is int:  # bool is excluded: it must round-trip as bool
+        return _PTYPE_INT, b"%d" % payload
+    try:
+        return _PTYPE_JSON, json.dumps(payload, separators=(",", ":")).encode(
+            "utf-8"
+        )
     except (TypeError, ValueError) as exc:
         raise ConfigurationError(
             f"payload is not JSON-serializable: {exc}"
         ) from None
+
+
+def _decode_v2(body: bytes) -> Tuple[int, int, List[Dict[str, Any]]]:
+    try:
+        _, src, dst, count = _HEADER.unpack_from(body, 0)
+    except struct.error:
+        raise WireFormatError("truncated v2 frame header") from None
+    offset = _HEADER.size
+    records: List[Dict[str, Any]] = []
+    try:
+        for _ in range(count):
+            kind = body[offset]
+            if kind == _KIND_DATA:
+                _, d, seq, uid, flags, rel, plen = _DATA_HDR.unpack_from(
+                    body, offset
+                )
+                offset += _DATA_HDR.size
+                if plen > MAX_FRAME or offset + plen > len(body):
+                    raise WireFormatError(
+                        f"DATA payload length {plen} overruns the frame"
+                    )
+                raw = body[offset : offset + plen]
+                ptype = (flags >> 1) & 0x3
+                try:
+                    if ptype == _PTYPE_STR:
+                        payload = raw.decode("utf-8")
+                    elif ptype == _PTYPE_INT:
+                        payload = int(raw)
+                    else:
+                        payload = json.loads(raw)
+                except (ValueError, UnicodeDecodeError):
+                    raise WireFormatError(
+                        f"DATA payload does not decode as type {ptype}"
+                    ) from None
+                offset += plen
+                records.append(
+                    data_rec(d, seq, uid, payload, bool(flags & _FLAG_VALID), rel)
+                )
+            elif kind == _KIND_ACK:
+                _, d, cum, sack, rel_seen = _ACK_REC.unpack_from(body, offset)
+                offset += _ACK_REC.size
+                records.append(ack_rec(d, cum, sack, rel_seen))
+            elif kind in (_KIND_REL, _KIND_RACK):
+                _, d, rel = _REL_REC.unpack_from(body, offset)
+                offset += _REL_REC.size
+                records.append(
+                    rel_rec(d, rel) if kind == _KIND_REL else rack_rec(d, rel)
+                )
+            else:
+                raise WireFormatError(f"unknown v2 record tag {kind}")
+    except struct.error:
+        raise WireFormatError("truncated v2 record") from None
+    except IndexError:
+        raise WireFormatError("truncated v2 frame body") from None
+    if offset != len(body):
+        raise WireFormatError(
+            f"{len(body) - offset} trailing bytes after {count} records"
+        )
+    return src, dst, records
+
+
+# -- v1 JSON codec (legacy; also the mixed-version negotiation partner) -------
+
+
+def _encode_v1(src: int, dst: int, records: Sequence[Dict[str, Any]]) -> bytes:
+    try:
+        return json.dumps(
+            {"f": src, "t": dst, "ms": list(records)}, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"payload is not JSON-serializable: {exc}"
+        ) from None
+
+
+def _decode_v1(body: bytes) -> Tuple[int, int, List[Dict[str, Any]]]:
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise WireFormatError("frame body is not valid JSON") from None
+    if not isinstance(envelope, dict):
+        raise WireFormatError("v1 frame body is not a JSON object")
+    try:
+        src, dst = int(envelope["f"]), int(envelope["t"])
+    except (KeyError, TypeError, ValueError):
+        raise WireFormatError("v1 envelope is missing f/t routing fields") from None
+    if "ms" in envelope:
+        records = envelope["ms"]
+    elif "m" in envelope:  # pre-batching single-record form
+        records = [envelope["m"]]
+    else:
+        raise WireFormatError("v1 envelope carries no records")
+    if not isinstance(records, list) or not all(
+        isinstance(r, dict) for r in records
+    ):
+        raise WireFormatError("v1 record batch is not a list of objects")
+    return src, dst, records
+
+
+# -- the codec seam -----------------------------------------------------------
+
+
+def encode_records(
+    src: int, dst: int, records: Sequence[Dict[str, Any]], version: int = WIRE_V2
+) -> bytes:
+    """Serialize one record batch to a length-prefixed frame."""
+    if version == WIRE_V2:
+        body = _encode_v2(src, dst, records)
+    elif version == WIRE_V1:
+        body = _encode_v1(src, dst, records)
+    else:
+        raise ConfigurationError(f"unknown wire version {version!r}")
     if len(body) > MAX_FRAME:
         raise ConfigurationError(
             f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}"
@@ -58,12 +283,36 @@ def encode_frame(msg: Dict[str, Any]) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
-def decode_body(body: bytes) -> Dict[str, Any]:
-    """Parse one frame body back into a message dict."""
-    msg = json.loads(body.decode("utf-8"))
-    if not isinstance(msg, dict):
-        raise ValueError("frame body is not a JSON object")
-    return msg
+def decode_frame_body(body: bytes) -> Tuple[int, int, int, List[Dict[str, Any]]]:
+    """Parse one frame body of *either* version.
+
+    Returns ``(version, src, dst, records)``.  Raises
+    :class:`WireFormatError` on anything undecodable — never a raw
+    ``struct.error`` or ``json`` traceback.
+    """
+    if not body:
+        raise WireFormatError("empty frame body")
+    tag = body[0]
+    if tag == WIRE_V2:
+        src, dst, records = _decode_v2(body)
+        return WIRE_V2, src, dst, records
+    if tag == 0x7B:  # '{' — a v1 JSON object
+        src, dst, records = _decode_v1(body)
+        return WIRE_V1, src, dst, records
+    raise WireFormatError(
+        f"unrecognized frame body (first byte {tag:#04x} is neither the "
+        f"v2 tag nor a JSON object)"
+    )
+
+
+def expect_version(got: int, expected: int) -> None:
+    """Raise a readable :class:`WireVersionError` on a version mismatch."""
+    if got != expected:
+        raise WireVersionError(
+            f"received a wire format v{got} frame but this node speaks "
+            f"v{expected} — mixed protocol versions in one cluster? "
+            f"Run every node with the same --wire-version."
+        )
 
 
 def split_frames(buffer: bytes) -> Tuple[list, bytes]:
@@ -74,7 +323,7 @@ def split_frames(buffer: bytes) -> Tuple[list, bytes]:
     while len(buffer) - offset >= _LEN.size:
         (length,) = _LEN.unpack_from(buffer, offset)
         if length > MAX_FRAME:
-            raise ValueError(f"frame length {length} exceeds MAX_FRAME")
+            raise WireFormatError(f"frame length {length} exceeds MAX_FRAME")
         if len(buffer) - offset - _LEN.size < length:
             break
         start = offset + _LEN.size
@@ -83,30 +332,23 @@ def split_frames(buffer: bytes) -> Tuple[list, bytes]:
     return bodies, buffer[offset:]
 
 
-# -- hop message constructors (kept tiny and allocation-light) ---------------
+def sack_bitmap(cum: int, out_of_order: Sequence[int]) -> int:
+    """The 64-bit selective-ack bitmap for seqs held above ``cum``."""
+    bits = 0
+    for seq in out_of_order:
+        i = seq - cum - 1
+        if 0 <= i < 64:
+            bits |= 1 << i
+    return bits
 
 
-def data_msg(dest: int, seq: int, uid: int, payload: Any, valid: bool) -> Dict[str, Any]:
-    """A ``DATA`` hop message."""
-    return {"k": DATA, "d": dest, "s": seq, "u": uid, "p": payload, "v": valid}
-
-
-def ack_msg(dest: int, seq: int) -> Dict[str, Any]:
-    """An ``ACK`` hop message."""
-    return {"k": ACK, "d": dest, "s": seq}
-
-
-def rel_msg(dest: int, seq: int) -> Dict[str, Any]:
-    """A ``REL`` hop message."""
-    return {"k": REL, "d": dest, "s": seq}
-
-
-def rack_msg(dest: int, seq: int) -> Dict[str, Any]:
-    """A ``RACK`` hop message."""
-    return {"k": RACK, "d": dest, "s": seq}
-
-
-def kind_of(msg: Dict[str, Any]) -> Optional[str]:
-    """The hop-protocol kind of a decoded message (None if malformed)."""
-    kind = msg.get("k")
-    return kind if kind in (DATA, ACK, REL, RACK) else None
+def sack_seqs(cum: int, bits: int) -> List[int]:
+    """The seqs flagged by a selective-ack bitmap."""
+    seqs = []
+    i = 0
+    while bits:
+        if bits & 1:
+            seqs.append(cum + 1 + i)
+        bits >>= 1
+        i += 1
+    return seqs

@@ -51,6 +51,36 @@ class TestRuntimeCommand:
         assert code == 2
         assert "LO:HI" in capsys.readouterr().err
 
+    def test_window_batch_and_wire_flags(self, capsys):
+        code = main(
+            [
+                "runtime", "--topology", "ring", "--n", "3",
+                "--messages", "8", "--window", "4", "--max-batch", "8",
+                "--wire-version", "1",
+            ]
+        )
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_window_metrics_visible_in_obs_summarize(self, tmp_path, capsys):
+        path = tmp_path / "runtime.jsonl"
+        assert main(
+            [
+                "runtime", "--topology", "ring", "--n", "4",
+                "--messages", "40", "--jsonl", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        for metric in (
+            "runtime_batch_size",
+            "runtime_ack_coalesce",
+            "runtime_rto_s",
+            "runtime_window_occupancy",
+        ):
+            assert metric in out, metric
+
 
 SPEC = {
     "topology": {"name": "line", "kwargs": {"n": 4}},

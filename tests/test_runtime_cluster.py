@@ -66,6 +66,56 @@ class TestLocalCluster:
         assert "runtime_msg_latency_s" in names
         assert "runtime_throughput_msgs" in names
 
+    def test_window_and_batch_observability_exported(self, tmp_path):
+        # Satellite: per-lane window occupancy, batch-size / ACK-coalesce
+        # histograms and RTO samples flow through repro.obs/v1.
+        result = run_cluster(ring_spec(messages=60))
+        assert not result.partial, result.summary()
+        assert result.batch_sizes and max(result.batch_sizes) >= 1
+        assert result.rto_samples  # RTO estimator produced samples
+        assert result.window_samples  # monitor sampled lane occupancy
+        rows = result.obs_rows()
+        path = tmp_path / "runtime.jsonl"
+        write_jsonl(path, rows, name="runtime")
+        names = {row["metric"] for row in read_artifact(path).rows}
+        for metric in (
+            "runtime_batch_size",
+            "runtime_ack_coalesce",
+            "runtime_rto_s",
+            "runtime_window_occupancy",
+        ):
+            assert metric in names, metric
+
+
+class TestProtocolKnobs:
+    def test_small_window_still_exactly_once(self):
+        result = run_cluster(ring_spec(window=1, max_batch=1))
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 24
+        assert result.report.duplicates == 0
+
+    def test_wire_v1_end_to_end(self):
+        result = run_cluster(ring_spec(wire_version=1))
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 24
+        assert result.report.duplicates == 0
+
+    def test_wire_v1_over_tcp(self):
+        result = run_cluster(
+            ring_spec(
+                topology={"name": "ring", "kwargs": {"n": 3}},
+                messages=12,
+                transport="tcp",
+                wire_version=1,
+            )
+        )
+        assert not result.partial, result.summary()
+        assert result.report.delivered == 12
+
+    def test_unknown_wire_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="wire version"):
+            run_cluster(ring_spec(wire_version=3))
+
 
 class TestTcpCluster:
     def test_single_process_tcp_smoke(self):

@@ -65,7 +65,7 @@ class TestWorkerDeath:
         # must notice, harvest the survivors, and report a partial result.
         spec = ClusterSpec(
             topology={"name": "ring", "kwargs": {"n": 4}},
-            messages=20_000,  # keeps the cluster busy well past the kill
+            messages=80_000,  # keeps the cluster busy well past the kill
             transport="tcp",
             procs=2,
             deadline=30.0,
@@ -87,7 +87,7 @@ class TestKeyboardInterrupt:
             "from repro.cli import main\n"
             "sys.exit(main(["
             "'runtime', '--topology', 'ring', '--n', '6', "
-            "'--messages', '200000', '--deadline', '120']))\n"
+            "'--messages', '300000', '--deadline', '120']))\n"
         )
         env = dict(os.environ, PYTHONPATH=REPO_SRC)
         proc = subprocess.Popen(

@@ -1,16 +1,31 @@
-"""Tests for the fault-injecting netem transport decorator."""
+"""Tests for the fault-injecting netem transport decorator.
+
+Since the batching PR the adversary draws faults **per record**: a batch
+is torn apart, every record gets its own loss/dup/latency/reorder draws,
+undelayed survivors are re-batched into one base send, and each delayed
+record travels as its own single-record frame.
+"""
 
 import asyncio
 
 from repro.network.topologies import line_network
 from repro.runtime.netem import NetemConfig, NetemTransport
 from repro.runtime.transport import LocalTransport
-from repro.runtime.wire import ack_msg
+from repro.runtime.wire import ack_rec
 from repro.types import normalized_edge
 
 
 def run(coro):
     return asyncio.run(coro)
+
+
+def drain_records(inbox):
+    """All records currently in the inbox, flattened across frames."""
+    records = []
+    while not inbox.empty():
+        _, batch = inbox.get_nowait()
+        records.append(batch)
+    return records
 
 
 class TestNetemConfig:
@@ -38,28 +53,47 @@ class TestNetemConfig:
 
 
 class TestNetemTransport:
-    def test_total_loss_drops_everything(self):
+    def test_total_loss_drops_every_record_of_a_batch(self):
         async def body():
             net = line_network(2)
             netem = NetemTransport(LocalTransport(net), NetemConfig(loss=1.0), seed=1)
             inbox = asyncio.Queue()
             netem.bind(1, inbox)
-            for i in range(10):
-                await netem.send(0, 1, ack_msg(0, i))
+            await netem.send(0, 1, [ack_rec(0, i) for i in range(10)])
             assert inbox.empty()
             assert netem.fault_stats["netem_dropped"] == 10
 
         run(body())
 
-    def test_total_duplication_delivers_twice(self):
+    def test_partial_loss_rebatches_survivors(self):
+        async def body():
+            net = line_network(2)
+            netem = NetemTransport(
+                LocalTransport(net), NetemConfig(loss=0.5), seed=7
+            )
+            inbox = asyncio.Queue()
+            netem.bind(1, inbox)
+            await netem.send(0, 1, [ack_rec(0, i) for i in range(40)])
+            batches = drain_records(inbox)
+            survivors = [r for b in batches for r in b]
+            dropped = netem.fault_stats["netem_dropped"]
+            assert len(survivors) + dropped == 40
+            assert 0 < dropped < 40  # loss=0.5 over 40 draws: both sides hit
+            # Undelayed survivors arrive as ONE re-batched frame.
+            assert len(batches) == 1
+
+        run(body())
+
+    def test_total_duplication_delivers_each_record_twice(self):
         async def body():
             net = line_network(2)
             netem = NetemTransport(LocalTransport(net), NetemConfig(dup=1.0), seed=1)
             inbox = asyncio.Queue()
             netem.bind(1, inbox)
-            for i in range(4):
-                await netem.send(0, 1, ack_msg(0, i))
-            assert inbox.qsize() == 8
+            await netem.send(0, 1, [ack_rec(0, i) for i in range(4)])
+            batches = drain_records(inbox)
+            records = [r for b in batches for r in b]
+            assert len(records) == 8
             assert netem.fault_stats["netem_duplicated"] == 4
 
         run(body())
@@ -72,24 +106,31 @@ class TestNetemTransport:
             inbox1, inbox2 = asyncio.Queue(), asyncio.Queue()
             netem.bind(1, inbox1)
             netem.bind(2, inbox2)
-            await netem.send(0, 1, ack_msg(0, 1))  # blocked
-            await netem.send(1, 2, ack_msg(0, 2))  # open
+            await netem.send(0, 1, [ack_rec(0, 1), ack_rec(0, 2)])  # blocked
+            await netem.send(1, 2, [ack_rec(0, 2)])  # open
             assert inbox1.empty()
             assert inbox2.qsize() == 1
+            assert netem.fault_stats["netem_dropped"] == 2
 
         run(body())
 
-    def test_latency_delays_but_delivers(self):
+    def test_latency_delays_records_as_single_frames(self):
         async def body():
             net = line_network(2)
             cfg = NetemConfig(latency=(0.01, 0.02))
             netem = NetemTransport(LocalTransport(net), cfg, seed=3)
             inbox = asyncio.Queue()
             netem.bind(1, inbox)
-            await netem.send(0, 1, ack_msg(0, 7))
-            assert inbox.empty()  # not yet: it is in flight
-            src, msg = await asyncio.wait_for(inbox.get(), 2.0)
-            assert (src, msg) == (0, ack_msg(0, 7))
+            await netem.send(0, 1, [ack_rec(0, 7), ack_rec(0, 8)])
+            assert inbox.empty()  # not yet: both records are in flight
+            got = []
+            for _ in range(2):
+                src, batch = await asyncio.wait_for(inbox.get(), 2.0)
+                assert src == 0
+                got.append(batch)
+            # Each delayed record arrived as its own single-record frame.
+            assert all(len(b) == 1 for b in got)
+            assert sorted(b[0]["c"] for b in got) == [7, 8]
             await netem.close()
 
         run(body())
@@ -102,12 +143,10 @@ class TestNetemTransport:
             )
             inbox = asyncio.Queue()
             netem.bind(1, inbox)
-            for i in range(50):
-                await netem.send(0, 1, ack_msg(0, i))
-            got = []
-            while not inbox.empty():
-                got.append(inbox.get_nowait()[1]["s"])
-            return got
+            await netem.send(0, 1, [ack_rec(0, i) for i in range(50)])
+            return [
+                r["c"] for b in drain_records(inbox) for r in b
+            ]
 
         a = run(pattern(seed=9))
         b = run(pattern(seed=9))
@@ -126,10 +165,17 @@ class TestNetemTransport:
             try:
                 await asyncio.sleep(0.1)  # at least one flap fired
                 assert netem.fault_stats["netem_flaps"] >= 1
-                await netem.send(0, 1, ack_msg(0, 1))  # the only edge is down
+                await netem.send(0, 1, [ack_rec(0, 1)])  # only edge is down
                 assert inbox.empty()
                 assert netem.fault_stats["netem_dropped"] >= 1
             finally:
                 await netem.close()
 
         run(body())
+
+    def test_shares_protocol_error_list_with_base(self):
+        net = line_network(2)
+        base = LocalTransport(net)
+        netem = NetemTransport(base, NetemConfig(), seed=0)
+        base._record_protocol_error("wire version mismatch")
+        assert netem.protocol_errors == ["wire version mismatch"]

@@ -1,4 +1,5 @@
-"""Tests for the live node's hop protocol (deduplication, handshakes)."""
+"""Tests for the live node's windowed hop protocol: pipelining, cumulative
++ selective acknowledgement, release watermarks, RTO behavior."""
 
 import asyncio
 
@@ -6,111 +7,254 @@ import pytest
 
 from repro.network.topologies import line_network
 from repro.routing.static import StaticRouting
-from repro.runtime.node import RuntimeNode, RuntimeParams
+from repro.runtime.node import MAX_WINDOW, RuntimeNode, RuntimeParams
 from repro.runtime.transport import LocalTransport
-from repro.runtime.wire import ACK, RACK, ack_msg, data_msg, rack_msg, rel_msg
+from repro.runtime.wire import (
+    ACK,
+    DATA,
+    RACK,
+    REL,
+    ack_rec,
+    data_rec,
+    rack_rec,
+    rel_rec,
+    sack_bitmap,
+)
 
 
-def make_node(pid=1, n=2):
+def make_node(pid=1, n=2, **params):
     """A node whose wire handlers we drive by hand (no event loop)."""
     net = line_network(n)
     transport = LocalTransport(net)
-    node = RuntimeNode(pid, net, StaticRouting(net), transport)
+    node = RuntimeNode(
+        pid, net, StaticRouting(net), transport, RuntimeParams(**params)
+    )
     return node
 
 
-class TestReceptionDedup:
-    def test_expected_seq_accepted_and_acked(self):
+def handle(node, src, rec, out, now=None):
+    import time
+
+    node._handle_batch(src, [rec], time.monotonic() if now is None else now, out)
+
+
+def sent_data(out):
+    return [rec for _, rec in out if rec["k"] == DATA]
+
+
+def sent_kind(out, kind):
+    return [rec for _, rec in out if rec["k"] == kind]
+
+
+class TestReceiverWindow:
+    def test_in_order_accepted_and_acked(self):
         node = make_node()
         out = []
-        node._handle(0, data_msg(1, 1, 11, "m", True), out)
-        assert node.buf_r[1] is not None and node.buf_r[1].uid == 11
-        assert out == [(0, ack_msg(1, 1))]
+        handle(node, 0, data_rec(1, 1, 11, "a", True, rel=0), out)
+        handle(node, 0, data_rec(1, 2, 12, "b", True, rel=0), out)
+        lane = node._in_lanes[(0, 1)]
+        assert lane.cum == 2
+        assert [uid for _, r in lane.pending for uid in [r.uid]] == [11, 12]
+        node._emit_acks(out)
+        acks = sent_kind(out, ACK)
+        assert acks == [ack_rec(1, 2, 0, 0)]  # one coalesced cumulative ACK
+
+    def test_out_of_order_held_and_sacked(self):
+        node = make_node()
+        out = []
+        handle(node, 0, data_rec(1, 2, 12, "b", True), out)
+        handle(node, 0, data_rec(1, 4, 14, "d", True), out)
+        lane = node._in_lanes[(0, 1)]
+        assert lane.cum == 0 and sorted(lane.ooo) == [2, 4]
+        node._emit_acks(out)
+        (ack,) = sent_kind(out, ACK)
+        assert ack["c"] == 0
+        assert ack["b"] == sack_bitmap(0, [2, 4])
+        # The hole arrives: cum jumps over the buffered records.
+        out.clear()
+        handle(node, 0, data_rec(1, 1, 11, "a", True), out)
+        handle(node, 0, data_rec(1, 3, 13, "c", True), out)
+        assert lane.cum == 4 and not lane.ooo
 
     def test_duplicate_data_reacked_not_reaccepted(self):
         node = make_node()
         out = []
-        node._handle(0, data_msg(1, 1, 11, "m", True), out)
-        before = node.buf_r[1]
-        node._handle(0, data_msg(1, 1, 11, "m", True), out)
-        assert node.buf_r[1] is before  # same record object: no re-accept
+        handle(node, 0, data_rec(1, 1, 11, "m", True), out)
+        handle(node, 0, data_rec(1, 1, 11, "m", True), out)
+        lane = node._in_lanes[(0, 1)]
+        assert lane.cum == 1 and len(lane.pending) == 1
         assert node.counters["dup_data_acked"] == 1
-        assert out == [(0, ack_msg(1, 1)), (0, ack_msg(1, 1))]
+        assert lane.ack_due
 
-    def test_future_seq_dropped(self):
+    def test_beyond_window_dropped(self):
         node = make_node()
         out = []
-        node._handle(0, data_msg(1, 7, 11, "m", True), out)
-        assert node.buf_r[1] is None
+        handle(node, 0, data_rec(1, MAX_WINDOW + 1, 11, "m", True), out)
+        assert node.counters["stale_records_dropped"] == 1
+        assert (0, 1) not in node._in_lanes or not node._in_lanes[(0, 1)].ooo
+
+    def test_backpressure_stays_silent(self):
+        node = make_node(recv_queue=2)
+        out = []
+        handle(node, 0, data_rec(1, 1, 11, "a", True), out)
+        handle(node, 0, data_rec(1, 2, 12, "b", True), out)
+        lane = node._in_lanes[(0, 1)]
+        lane.ack_due = False
+        node._ack_dirty.clear()
+        # Queue full: the third record is silently dropped (sender retries).
+        handle(node, 0, data_rec(1, 3, 13, "c", True), out)
+        assert lane.cum == 2
+        assert node.counters["recv_backpressure"] == 1
+        assert not lane.ack_due
+
+    def test_malformed_records_dropped(self):
+        node = make_node()
+        out = []
+        node._handle_batch(
+            0,
+            [
+                {"k": "DATA"},                      # missing fields
+                {"k": "NOPE", "d": 1, "s": 1},      # unknown kind
+                data_rec(99, 1, 1, "m", True),      # dest out of range
+            ],
+            1.0,
+            out,
+        )
         assert out == []
-        assert node.counters["stale_frames_dropped"] == 1
+        assert node.counters["stale_records_dropped"] == 3
 
-    def test_busy_buffer_stays_silent(self):
+
+class TestReleaseWatermark:
+    def test_release_piggybacked_on_data_moves_pending_to_fwd(self):
+        node = make_node(pid=1, n=3)  # middle of a 3-line: must forward
+        out = []
+        handle(node, 0, data_rec(2, 1, 11, "a", True, rel=0), out)
+        lane = node._in_lanes[(0, 2)]
+        assert len(lane.pending) == 1 and not node.fwd[2]
+        # Next DATA piggybacks rel=1: seq 1 is erased upstream, forward it.
+        handle(node, 0, data_rec(2, 2, 12, "b", True, rel=1), out)
+        assert len(lane.pending) == 1  # seq 2 still unreleased
+        assert [r.uid for r in node.fwd[2]] == [11]
+        assert 2 in node._active
+
+    def test_release_never_exceeds_cum(self):
         node = make_node()
         out = []
-        node._handle(0, data_msg(1, 1, 11, "a", True), out)
+        handle(node, 0, data_rec(1, 2, 12, "b", True, rel=2), out)  # ooo
+        lane = node._in_lanes[(0, 1)]
+        assert lane.rel_cum == 0  # rel=2 clamps to cum=0: nothing released
+
+    def test_standalone_rel_racked_idempotently(self):
+        node = make_node()
+        out = []
+        handle(node, 0, data_rec(1, 1, 11, "m", True), out)
         out.clear()
-        # Next lane seq arrives while buf_r is still held: no ACK at all,
-        # the sender's retransmit timer is the retry path.
-        node._handle(0, data_msg(1, 2, 12, "b", True), out)
-        assert out == []
-        assert node.buf_r[1].uid == 11
-
-    def test_malformed_frames_dropped(self):
-        node = make_node()
-        out = []
-        node._handle(0, {"k": "DATA"}, out)          # missing fields
-        node._handle(0, {"k": "NOPE", "d": 1, "s": 1}, out)  # unknown kind
-        node._handle(0, data_msg(99, 1, 1, "m", True), out)  # dest out of range
-        assert out == []
-        assert node.counters["stale_frames_dropped"] == 3
-
-
-class TestReleaseHandshake:
-    def test_rel_marks_released_and_racks(self):
-        node = make_node()
-        out = []
-        node._handle(0, data_msg(1, 1, 11, "m", True), out)
+        handle(node, 0, rel_rec(1, 1), out)
+        assert sent_kind(out, RACK) == [rack_rec(1, 1)]
         out.clear()
-        node._handle(0, rel_msg(1, 1), out)
-        assert node.buf_r[1].released
-        assert out == [(0, rack_msg(1, 1))]
+        handle(node, 0, rel_rec(1, 1), out)  # retransmitted REL
+        assert sent_kind(out, RACK) == [rack_rec(1, 1)]
 
-    def test_rel_for_unaccepted_seq_dropped(self):
+    def test_rel_for_unaccepted_seqs_dropped_without_rack(self):
         node = make_node()
         out = []
-        node._handle(0, rel_msg(1, 5), out)  # never accepted seq 5
+        handle(node, 0, rel_rec(1, 5), out)  # never accepted anything
         assert out == []
-        assert node.counters["stale_frames_dropped"] == 1
+        assert node.counters["stale_records_dropped"] == 1
 
-    def test_duplicate_rel_still_racked(self):
-        node = make_node()
+
+class TestSenderWindow:
+    def test_pipelines_up_to_window(self):
+        node = make_node(pid=0, window=4)
+        for i in range(10):
+            node.submit(f"m{i}", 1)
         out = []
-        node._handle(0, data_msg(1, 1, 11, "m", True), out)
-        node._handle(0, rel_msg(1, 1), out)
+        node._advance(out)
+        datas = sent_data(out)
+        assert len(datas) == 4  # window, not stop-and-wait
+        assert [d["s"] for d in datas] == [1, 2, 3, 4]
+        assert node.in_flight() == 4
+        assert node.counters["generated"] == 4  # generation is window-gated
+
+    def test_cumulative_ack_slides_window(self):
+        node = make_node(pid=0, window=4)
+        for i in range(6):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)
         out.clear()
-        node._handle(0, rel_msg(1, 1), out)  # retransmitted REL
-        assert out == [(0, rack_msg(1, 1))]
+        handle(node, 1, ack_rec(1, 3), out)  # acks seqs 1-3
+        assert node.in_flight() == 1
+        node._advance(out)
+        assert [d["s"] for d in sent_data(out)] == [5, 6]
+        assert node.in_flight() == 3
 
+    def test_sack_pops_but_timer_waits_for_cum(self):
+        node = make_node(pid=0, window=4)
+        for i in range(4):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)
+        lane = node._out_lanes[(1, 1)]
+        expiry_before = lane.expiry
+        out.clear()
+        # SACK seqs 2-4, hole at 1: pops them but keeps the head's timer.
+        handle(node, 1, ack_rec(1, 0, sack_bitmap(0, [2, 3, 4])), out)
+        assert sorted(lane.unacked) == [1]
+        assert lane.expiry == expiry_before
 
-class TestSenderSide:
-    def test_ack_erases_emission_and_emits_rel(self):
-        node = make_node(pid=0)
+    def test_fast_retransmit_after_three_sacks(self):
+        node = make_node(pid=0, window=8)
+        for i in range(8):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)
+        out.clear()
+        lane = node._out_lanes[(1, 1)]
+        lane.srtt = 0.0  # no resend-grace for the test
+        for sacked in ([2, 3], [2, 3, 4], [2, 3, 4, 5]):
+            handle(node, 1, ack_rec(1, 0, sack_bitmap(0, sacked)), out)
+        resent = sent_data(out)
+        assert [d["s"] for d in resent] == [1]  # the hole, nothing else
+        assert node.counters["retries"] == 1
+
+    def test_rto_retransmits_head_probe_first(self):
+        node = make_node(pid=0, window=4, retry_base=0.0, retry_cap=0.0)
+        for i in range(4):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)  # rto 0: the first expiry fires in the same call
+        # Window fill (1-4) plus a head-of-line probe — NOT a full resend.
+        assert [d["s"] for d in sent_data(out)] == [1, 2, 3, 4, 1]
+        assert node.counters["retries"] == 1
+        out.clear()
+        node._advance(out)  # second expiry: full age-qualified resend
+        assert sorted(d["s"] for d in sent_data(out)) == [1, 2, 3, 4]
+        lane = node._out_lanes[(1, 1)]
+        assert lane.backoff > 2
+
+    def test_cum_ack_resets_backoff(self):
+        node = make_node(pid=0, window=4, retry_base=0.0, retry_cap=0.0)
         node.submit("m", 1)
         out = []
-        node._advance(out)  # generate + commit + open lane (DATA out)
-        assert node.buf_e[1] is not None
-        assert node.in_flight() == 1
-        (nbr, frame) = out[0]
-        assert nbr == 1 and frame["k"] == "DATA"
-        out.clear()
-        node._handle(1, ack_msg(1, frame["s"]), out)
-        assert node.buf_e[1] is None  # R4
-        assert out[0][1]["k"] == "REL"
-        assert node.in_flight() == 1  # lane now awaits the RACK
-        out.clear()
-        node._handle(1, rack_msg(1, frame["s"]), out)
+        node._advance(out)
+        node._advance(out)
+        lane = node._out_lanes[(1, 1)]
+        assert lane.backoff > 1
+        handle(node, 1, ack_rec(1, 1), out)
+        assert lane.backoff == 1 and lane.expiry is None
         assert node.in_flight() == 0
+
+    def test_ack_rtt_sample_skips_retransmitted(self):
+        node = make_node(pid=0, retry_base=0.0, retry_cap=0.0)
+        node.submit("m", 1)
+        out = []
+        node._advance(out)
+        node._advance(out)  # retransmit: Karn forbids sampling this one
+        handle(node, 1, ack_rec(1, 1), out)
+        lane = node._out_lanes[(1, 1)]
+        assert lane.srtt is None
+        assert node.rto_samples == []
 
     def test_stale_ack_ignored(self):
         node = make_node(pid=0)
@@ -118,25 +262,91 @@ class TestSenderSide:
         out = []
         node._advance(out)
         out.clear()
-        node._handle(1, ack_msg(1, 99), out)  # wrong seq
-        assert node.buf_e[1] is not None
+        handle(node, 1, ack_rec(1, 99), out)  # beyond anything sent
+        assert node.in_flight() == 0 or node.in_flight() == 1
+        handle(node, 0, ack_rec(1, 1), out)  # lane never opened toward 0
         assert out == []
+
+    def test_release_watermark_piggybacks_on_next_data(self):
+        node = make_node(pid=0, window=2)
+        for i in range(4):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)
+        out.clear()
+        handle(node, 1, ack_rec(1, 2), out)
+        node._advance(out)
+        datas = sent_data(out)
+        assert [d["s"] for d in datas] == [3, 4]
+        assert all(d["r"] == 2 for d in datas)  # release rides along
+
+    def test_standalone_rel_on_quiet_lane_then_rack_stops_it(self):
+        node = make_node(pid=0, retry_base=0.0, retry_cap=0.0)
+        node.submit("m", 1)
+        out = []
+        node._advance(out)
+        handle(node, 1, ack_rec(1, 1), out)
+        out.clear()
+        node._advance(out)  # lane quiet, rel unconfirmed: standalone REL
+        assert sent_kind(out, REL) == [rel_rec(1, 1)]
+        handle(node, 1, rack_rec(1, 1), out)
+        out.clear()
+        node._advance(out)
+        assert sent_kind(out, REL) == []  # confirmed: no more RELs
+        assert node.is_idle()
 
     def test_self_addressed_submit_rejected(self):
         node = make_node(pid=0)
         with pytest.raises(ValueError, match="self-addressed"):
             node.submit("m", 0)
 
-    def test_retransmit_after_timeout(self):
-        node = make_node(pid=0)
-        node.params = RuntimeParams(retry_base=0.0, retry_cap=0.0)
+    def test_max_attempts_stops_retransmission(self):
+        node = make_node(pid=0, retry_base=0.0, retry_cap=0.0, max_attempts=2)
         node.submit("m", 1)
         out = []
         node._advance(out)
-        out.clear()
-        node._advance(out)  # timeout is 0: retransmits immediately
-        assert node.counters["retries"] >= 1
-        assert any(m["k"] == "DATA" for _, m in out)
+        for _ in range(5):
+            node._advance(out)
+        assert node.counters["retries"] == 2
+
+
+class TestObservabilityHooks:
+    def test_batch_and_coalesce_metrics_populate(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net)
+            routing = StaticRouting(net)
+            params = RuntimeParams(tick=0.002)
+            nodes = [
+                RuntimeNode(p, net, routing, transport, params)
+                for p in range(2)
+            ]
+            for i in range(50):
+                nodes[0].submit(f"m{i}", 1)
+            tasks = [asyncio.ensure_future(n.run()) for n in nodes]
+            for _ in range(1000):
+                if nodes[1].counters["delivered"] == 50 and all(
+                    n.is_idle() for n in nodes
+                ):
+                    break
+                await asyncio.sleep(0.005)
+            for n in nodes:
+                n.stop()
+            await asyncio.gather(*tasks)
+            assert nodes[0].batch_sizes and max(nodes[0].batch_sizes) > 1
+            assert nodes[1].ack_coalesce and max(nodes[1].ack_coalesce) > 1
+            assert nodes[0].rto_samples
+            assert len(nodes[0].hop_latencies) == 50
+
+        asyncio.run(body())
+
+    def test_window_occupancy_reports_per_lane(self):
+        node = make_node(pid=0, window=4)
+        for i in range(10):
+            node.submit(f"m{i}", 1)
+        out = []
+        node._advance(out)
+        assert node.window_occupancy() == [4]
 
 
 class TestEndToEndOverLocalTransport:
@@ -147,7 +357,8 @@ class TestEndToEndOverLocalTransport:
             routing = StaticRouting(net)
             params = RuntimeParams(tick=0.002)
             nodes = [
-                RuntimeNode(p, net, routing, transport, params) for p in range(2)
+                RuntimeNode(p, net, routing, transport, params)
+                for p in range(2)
             ]
             for i in range(5):
                 nodes[0].submit(f"m{i}", 1)

@@ -1,4 +1,5 @@
-"""Tests for the runtime transports (in-memory and TCP)."""
+"""Tests for the runtime transports (in-memory and TCP): batch sends,
+version locking, write coalescing."""
 
 import asyncio
 import socket
@@ -12,7 +13,7 @@ from repro.runtime.transport import (
     TcpTransport,
     allocate_ports,
 )
-from repro.runtime.wire import ack_msg, data_msg
+from repro.runtime.wire import WIRE_V1, ack_rec, data_rec
 
 
 def run(coro):
@@ -20,19 +21,36 @@ def run(coro):
 
 
 class TestLocalTransport:
-    def test_delivers_to_bound_inbox(self):
+    def test_delivers_batch_to_bound_inbox(self):
         async def body():
             net = line_network(2)
             transport = LocalTransport(net)
             inbox = asyncio.Queue()
             transport.bind(1, inbox)
-            msg = data_msg(1, 1, 5, "hello", True)
-            await transport.send(0, 1, msg)
+            batch = [
+                data_rec(1, 1, 5, "hello", True),
+                data_rec(1, 2, 6, "world", True),
+                ack_rec(0, 3),
+            ]
+            await transport.send(0, 1, batch)
             src, got = inbox.get_nowait()
             assert src == 0
-            assert got == msg
+            assert got == batch  # one inbox item per frame, not per record
             assert transport.stats["frames_sent"] == 1
-            assert transport.stats["frames_received"] == 1
+            assert transport.stats["records_sent"] == 3
+            assert transport.stats["records_received"] == 3
+
+        run(body())
+
+    def test_wire_v1_round_trips_too(self):
+        async def body():
+            net = line_network(2)
+            transport = LocalTransport(net, wire_version=WIRE_V1)
+            inbox = asyncio.Queue()
+            transport.bind(1, inbox)
+            batch = [data_rec(1, 1, 5, {"deep": [1]}, True)]
+            await transport.send(0, 1, batch)
+            assert inbox.get_nowait() == (0, batch)
 
         run(body())
 
@@ -41,7 +59,7 @@ class TestLocalTransport:
             net = line_network(3)
             transport = LocalTransport(net)
             with pytest.raises(ConfigurationError, match="no edge"):
-                await transport.send(0, 2, ack_msg(0, 1))
+                await transport.send(0, 2, [ack_rec(0, 1)])
 
         run(body())
 
@@ -49,7 +67,7 @@ class TestLocalTransport:
         async def body():
             net = line_network(2)
             transport = LocalTransport(net)
-            await transport.send(0, 1, ack_msg(0, 1))
+            await transport.send(0, 1, [ack_rec(0, 1)])
             assert transport.stats["frames_dropped"] == 1
 
         run(body())
@@ -60,7 +78,7 @@ class TestLocalTransport:
             transport = LocalTransport(net)
             transport.bind(1, asyncio.Queue())
             with pytest.raises(ConfigurationError, match="JSON-serializable"):
-                await transport.send(0, 1, data_msg(1, 1, 1, object(), True))
+                await transport.send(0, 1, [data_rec(1, 1, 1, object(), True)])
 
         run(body())
 
@@ -83,7 +101,7 @@ class TestAllocatePorts:
 
 
 class TestTcpTransport:
-    def test_round_trip_over_loopback(self):
+    def test_batch_round_trip_over_loopback(self):
         async def body():
             net = line_network(2)
             ports = allocate_ports(net)
@@ -93,18 +111,81 @@ class TestTcpTransport:
             transport.bind(1, inbox1)
             await transport.start()
             try:
-                msg = data_msg(1, 1, 9, {"nested": True}, True)
-                await transport.send(0, 1, msg)
+                batch = [
+                    data_rec(1, 1, 9, {"nested": True}, True),
+                    ack_rec(0, 4, sack=0b101),
+                ]
+                await transport.send(0, 1, batch)
                 src, got = await asyncio.wait_for(inbox1.get(), 5.0)
-                assert (src, got) == (0, msg)
+                assert (src, got) == (0, batch)
                 # And the reverse direction over its own connection.
-                await transport.send(1, 0, ack_msg(1, 1))
+                await transport.send(1, 0, [ack_rec(1, 1)])
                 src, got = await asyncio.wait_for(inbox0.get(), 5.0)
-                assert (src, got) == (1, ack_msg(1, 1))
+                assert (src, got) == (1, [ack_rec(1, 1)])
             finally:
                 await transport.close()
 
         run(body())
+
+    def test_many_frames_coalesce_into_stream(self):
+        # Several sends queued back-to-back must all arrive intact (the
+        # edge pump may combine them into one socket write).
+        async def body():
+            net = line_network(2)
+            ports = allocate_ports(net)
+            transport = TcpTransport(net, ports)
+            inbox = asyncio.Queue()
+            transport.bind(1, inbox)
+            transport.bind(0, asyncio.Queue())
+            await transport.start()
+            try:
+                for i in range(20):
+                    await transport.send(0, 1, [ack_rec(1, i + 1)])
+                seen = []
+                for _ in range(20):
+                    _, records = await asyncio.wait_for(inbox.get(), 5.0)
+                    seen.extend(r["c"] for r in records)
+                assert seen == list(range(1, 21))  # in order, none lost
+            finally:
+                await transport.close()
+
+        run(body())
+
+    def test_version_mismatch_is_reported_not_crashed(self):
+        # A v1 sender talking to a v2 receiver (and vice versa): the frame
+        # is dropped with a readable protocol error, no hang, no traceback.
+        async def body(sender_version, receiver_version):
+            net = line_network(2)
+            ports = allocate_ports(net)
+            sender = TcpTransport(
+                net, ports, local_pids=(0,), wire_version=sender_version
+            )
+            receiver = TcpTransport(
+                net, ports, local_pids=(1,), wire_version=receiver_version
+            )
+            sender.bind(0, asyncio.Queue())
+            inbox = asyncio.Queue()
+            receiver.bind(1, inbox)
+            await sender.start()
+            await receiver.start()
+            try:
+                await sender.send(0, 1, [ack_rec(1, 1)])
+                for _ in range(100):
+                    if receiver.protocol_errors:
+                        break
+                    await asyncio.sleep(0.02)
+                assert inbox.empty()
+                assert receiver.stats["frames_dropped"] == 1
+                (error,) = receiver.protocol_errors
+                assert f"v{sender_version}" in error
+                assert f"v{receiver_version}" in error
+                assert "--wire-version" in error
+            finally:
+                await sender.close()
+                await receiver.close()
+
+        run(body(1, 2))
+        run(body(2, 1))
 
     def test_missing_ports_rejected(self):
         net = line_network(3)
@@ -140,8 +221,8 @@ class TestTcpTransport:
             )
             sender.bind(0, asyncio.Queue())
             await sender.start()
-            msg = data_msg(1, 1, 3, "late", True)
-            await sender.send(0, 1, msg)  # peer not listening yet
+            batch = [data_rec(1, 1, 3, "late", True)]
+            await sender.send(0, 1, batch)  # peer not listening yet
             await asyncio.sleep(0.1)
             receiver = TcpTransport(net, ports, local_pids=(1,))
             inbox = asyncio.Queue()
@@ -149,7 +230,7 @@ class TestTcpTransport:
             await receiver.start()
             try:
                 src, got = await asyncio.wait_for(inbox.get(), 5.0)
-                assert (src, got) == (0, msg)
+                assert (src, got) == (0, batch)
                 assert sender.stats["reconnects"] >= 1
             finally:
                 await sender.close()

@@ -1,0 +1,79 @@
+"""Version negotiation guard: a cluster whose peers speak mismatched wire
+versions must fail fast with a readable protocol error and a conformance
+FAIL — never hang to the deadline and never crash with a codec traceback.
+
+The transport-level counterpart (two :class:`TcpTransport` instances with
+different versions) lives in ``test_runtime_transport.py``; here the whole
+cluster stack runs: nodes, monitor abort, partial-result assembly, oracle.
+"""
+
+import pytest
+
+import repro.runtime.cluster as cluster_mod
+from repro.runtime import ClusterSpec, run_cluster
+from repro.runtime.transport import TcpTransport
+
+
+class _MixedVersionTransport(TcpTransport):
+    """A TCP transport that *encodes* outbound frames with a different
+    wire version than it accepts inbound — the single-process stand-in
+    for a cluster whose workers were launched with mismatched
+    ``--wire-version`` flags."""
+
+    send_version = 1  # patched per test
+
+    async def send(self, src, dst, records):
+        accept = self.wire_version
+        self.wire_version = self.send_version
+        try:
+            await super().send(src, dst, records)  # encodes synchronously
+        finally:
+            self.wire_version = accept
+
+
+def mixed_spec(recv_version):
+    return ClusterSpec(
+        topology={"name": "ring", "kwargs": {"n": 3}},
+        messages=6,
+        seed=3,
+        transport="tcp",
+        deadline=30.0,
+        tick=0.002,
+        wire_version=recv_version,
+    )
+
+
+@pytest.mark.parametrize("send_version,recv_version", [(1, 2), (2, 1)])
+def test_mixed_versions_fail_fast_and_readably(
+    monkeypatch, send_version, recv_version
+):
+    real_build = cluster_mod._build_transport
+
+    def build(spec, net, **kwargs):
+        transport = real_build(spec, net, **kwargs)
+        assert isinstance(transport, TcpTransport)
+        transport.__class__ = _MixedVersionTransport
+        transport.send_version = send_version
+        return transport
+
+    monkeypatch.setattr(cluster_mod, "_build_transport", build)
+    result = run_cluster(mixed_spec(recv_version))
+    # Fails fast: the monitor aborts on the first protocol error instead
+    # of idling out the 30 s deadline.
+    assert result.elapsed_s < 15.0
+    assert result.partial
+    assert result.report.delivered < result.report.generated
+    assert "verdict: FAIL" in result.report.summary()
+    # And readably: the error names both versions and the knob to fix.
+    (error,) = [e for e in result.errors if "wire" in e.lower()]
+    assert f"v{send_version}" in error
+    assert f"v{recv_version}" in error
+    assert "--wire-version" in error
+
+
+def test_matched_versions_unaffected_by_guard():
+    # Control: same topology and message count, versions agree -> PASS.
+    for version in (1, 2):
+        result = run_cluster(mixed_spec(version))
+        assert not result.partial, result.summary()
+        assert "verdict: PASS" in result.report.summary()
