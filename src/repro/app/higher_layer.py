@@ -8,6 +8,12 @@ Semantics follow §3.2 of the paper:
 * ``nextMessage_p`` / ``nextDestination_p`` expose the waiting message;
 * ``deliver_p(m)`` hands a message up at its destination.
 
+Storage is sparse: an outbox materializes when the first submission enters
+it and is evicted once drained, and the ``request_p`` flags live in a set
+of raised processors behind a list-like view — a processor that never
+submits costs nothing, and the per-step raise sweep touches only live
+outboxes instead of all ``n`` processors.
+
 One deliberate substitution (documented in DESIGN.md): a message submitted
 to *itself* (``dest == p``) is delivered locally at submission time and
 never enters the network.  Point-to-point forwarding between distinct
@@ -30,6 +36,29 @@ from repro.types import DestId, ProcId
 Pending = Tuple[Any, DestId]
 
 
+class _RequestFlags:
+    """List-like view of the raised-request set: ``flags[p]`` reads the
+    flag, ``flags[p] = bool`` writes it (the liveness harness lowers flags
+    out-of-band this way).  Memory is O(raised), not O(n)."""
+
+    __slots__ = ("_raised",)
+
+    def __init__(self) -> None:
+        self._raised: Set[ProcId] = set()
+
+    def __getitem__(self, p: ProcId) -> bool:
+        return p in self._raised
+
+    def __setitem__(self, p: ProcId, value: bool) -> None:
+        if value:
+            self._raised.add(p)
+        else:
+            self._raised.discard(p)
+
+    def raised(self) -> Set[ProcId]:
+        return self._raised
+
+
 class HigherLayer:
     """Per-processor outboxes with the paper's blocking request handshake.
 
@@ -49,9 +78,11 @@ class HigherLayer:
         on_deliver: Optional[Callable[[ProcId, Message, int], None]] = None,
     ) -> None:
         self._n = n
-        self._outbox: List[Deque[Pending]] = [deque() for _ in range(n)]
+        #: Sparse outboxes: materialized while nonempty, evicted once
+        #: drained.  An absent outbox reads as empty everywhere.
+        self._outbox: Dict[ProcId, Deque[Pending]] = {}
         #: The shared variable ``request_p`` read by rule R1.
-        self.request: List[bool] = [False] * n
+        self.request = _RequestFlags()
         self._on_deliver = on_deliver
         self._delivered: List[Tuple[ProcId, Message, int]] = []
         self._local_deliveries = 0
@@ -104,29 +135,36 @@ class HigherLayer:
         if dest == p:
             self._local_deliveries += 1
             return
-        self._outbox[p].append((payload, dest))
+        box = self._outbox.get(p)
+        if box is None:
+            box = self._outbox[p] = deque()
+        box.append((payload, dest))
         if self._on_submit is not None:
             self._on_submit(p, payload, dest, step)
 
     def pending_count(self, p: ProcId) -> int:
         """Messages still waiting in ``p``'s outbox (including the one a
         raised request refers to)."""
-        return len(self._outbox[p])
+        box = self._outbox.get(p)
+        return 0 if box is None else len(box)
 
     def total_pending(self) -> int:
         """Outstanding submissions across all processors."""
-        return sum(len(box) for box in self._outbox)
+        return sum(len(box) for box in self._outbox.values())
 
     # -- the request handshake (rule R1's counterpart) ---------------------------
 
     def before_step(self, step: int) -> None:
         """Environment move: raise ``request_p`` wherever it is false and a
         message waits (the paper lets the higher layer do this at any time;
-        doing it every step is the maximally eager environment)."""
+        doing it every step is the maximally eager environment).  Only live
+        outboxes are examined — O(live), ascending so the notification
+        order matches the dense sweep."""
         notify = self._on_request_change
-        for p in range(self._n):
-            if not self.request[p] and self._outbox[p]:
-                self.request[p] = True
+        raised = self.request.raised()
+        for p in sorted(self._outbox):
+            if p not in raised:
+                raised.add(p)
                 dest = self._outbox[p][0][1]
                 self._requested[p] = dest
                 if notify is not None:
@@ -140,34 +178,48 @@ class HigherLayer:
     def next_destination(self, p: ProcId) -> Optional[DestId]:
         """The paper's ``nextDestination_p`` macro; None when nothing
         waits."""
-        return self._outbox[p][0][1] if self._outbox[p] else None
+        box = self._outbox.get(p)
+        return box[0][1] if box else None
 
     def consume_request(self, p: ProcId) -> Pending:
         """Rule R1's write-back: pop the waiting message and lower
         ``request_p``.  Returns the (payload, dest) that was generated."""
-        if not self._outbox[p]:
+        box = self._outbox.get(p)
+        if not box:
             raise ConfigurationError(f"consume_request({p}) with empty outbox")
-        item = self._outbox[p].popleft()
+        item = box.popleft()
+        if not box:
+            del self._outbox[p]  # quiescence: drained outboxes are evicted
         self.request[p] = False
         self._requested.pop(p, None)
         if self._on_request_change is not None:
             self._on_request_change(p, item[1])
         return item
 
-    def outboxes(self) -> Tuple[Tuple[Pending, ...], ...]:
-        """Immutable view of every outbox, head first — the public accessor
-        the verifier's canonicalization and :meth:`snapshot` read instead of
-        reaching into the private deques."""
-        return tuple(tuple(box) for box in self._outbox)
+    def outboxes(self) -> Tuple[Tuple[ProcId, Tuple[Pending, ...]], ...]:
+        """Immutable sparse view of every *nonempty* outbox as ``(p,
+        items)`` ascending, head first — the public accessor the verifier's
+        canonicalization and :meth:`snapshot` read instead of reaching into
+        the private deques.  Canonical: empty outboxes (materialized or
+        not) never appear."""
+        return tuple(
+            (p, tuple(self._outbox[p])) for p in sorted(self._outbox)
+        )
+
+    def live_sources(self) -> Set[ProcId]:
+        """Processors with a materialized (nonempty) outbox — the memory
+        footprint index used by tests and the scale bench."""
+        return set(self._outbox)
 
     # -- snapshot/restore ----------------------------------------------------
 
     def snapshot(self) -> StateVector:
-        """State vector: outboxes, ``request_p`` flags, the raised-request
-        index, the delivery log and the local-delivery count."""
+        """State vector: nonempty outboxes (sparse), raised ``request_p``
+        flags (sparse, ascending), the raised-request index, the delivery
+        log and the local-delivery count."""
         return (
             self.outboxes(),
-            tuple(self.request),
+            tuple(sorted(self.request.raised())),
             tuple(sorted(self._requested.items())),
             tuple(self._delivered),
             self._local_deliveries,
@@ -179,17 +231,24 @@ class HigherLayer:
         Guards read only ``request_p`` and the outbox *head* (destination
         and payload), so the change notifier fires per processor whose
         handshake-visible state differs — for both the destination it
-        concerned before and the one it concerns now."""
-        outboxes, request, requested, delivered, local = vec
+        concerned before and the one it concerns now.  Only processors live
+        on either side are examined."""
+        outboxes, raised_vec, requested, delivered, local = vec
         notify = self._on_request_change
-        for p in range(self._n):
-            box = self._outbox[p]
-            new_box = outboxes[p]
-            old = (self.request[p], box[0] if box else None)
-            new = (request[p], new_box[0] if new_box else None)
-            if tuple(box) != new_box:
-                self._outbox[p] = deque(new_box)
-            self.request[p] = request[p]
+        target_boxes: Dict[ProcId, Tuple[Pending, ...]] = dict(outboxes)
+        target_raised = set(raised_vec)
+        raised = self.request.raised()
+        for p in sorted(set(self._outbox) | set(target_boxes) | raised | target_raised):
+            box = self._outbox.get(p)
+            new_box = target_boxes.get(p, ())
+            old = (p in raised, box[0] if box else None)
+            new = (p in target_raised, new_box[0] if new_box else None)
+            if (tuple(box) if box else ()) != new_box:
+                if new_box:
+                    self._outbox[p] = deque(new_box)
+                else:
+                    self._outbox.pop(p, None)
+            self.request[p] = p in target_raised
             if notify is not None and old != new:
                 old_dest = old[1][1] if old[1] is not None else None
                 new_dest = new[1][1] if new[1] is not None else None

@@ -203,3 +203,221 @@ class FairChoiceQueue:
 
     def __repr__(self) -> str:
         return f"FairChoiceQueue({self._q!r}, policy={self._policy})"
+
+
+#: The canonical clean-empty queue state — what an unmaterialized entry
+#: reads as, and the eviction criterion (a queue in this state is
+#: indistinguishable from no queue at all).
+EMPTY_QUEUE_STATE: Tuple = ((), ())
+
+
+class _QueueHandle:
+    """Lazy stand-in for one ``choice_p(d)`` queue.
+
+    Reads (``head``/``items``/``state``/``len``) answer the clean-empty
+    values without materializing anything; mutations (``sync`` with
+    candidates, ``serve``, ``force``, ``restore`` to a nonempty state)
+    materialize the real :class:`FairChoiceQueue` first and delegate.  This
+    keeps the classic ``proto.queues[d][p]`` idiom working unchanged over
+    sparse storage.
+    """
+
+    __slots__ = ("_table", "_d", "_p")
+
+    def __init__(self, table: "LazyChoiceTable", d, p) -> None:
+        self._table = table
+        self._d = d
+        self._p = p
+
+    def _peek(self) -> Optional[FairChoiceQueue]:
+        return self._table.peek(self._d, self._p)
+
+    @property
+    def policy(self) -> str:
+        return self._table.policy
+
+    def head(self) -> Optional[ProcId]:
+        q = self._peek()
+        return None if q is None else q.head()
+
+    def items(self) -> List[ProcId]:
+        q = self._peek()
+        return [] if q is None else q.items()
+
+    def state(self) -> Tuple:
+        q = self._peek()
+        return EMPTY_QUEUE_STATE if q is None else q.state()
+
+    def snapshot(self) -> Tuple:
+        return self.state()
+
+    def __len__(self) -> int:
+        q = self._peek()
+        return 0 if q is None else len(q)
+
+    def sync(
+        self,
+        candidates: Iterable[ProcId],
+        priority: Optional[Dict[ProcId, int]] = None,
+    ) -> None:
+        cand = set(candidates)
+        q = self._peek()
+        if q is None:
+            if not cand:
+                return  # empty-to-empty reconcile of an absent queue
+            q = self._table.materialize(self._d, self._p)
+        q.sync(cand, priority)
+
+    def serve(self, s: ProcId) -> None:
+        q = self._peek()
+        if q is None:
+            return  # serving from a clean-empty queue is a no-op
+        q.serve(s)
+
+    def force(self, order: List[ProcId]) -> None:
+        # Always materialize: the dense engine fired a "mutate"
+        # notification even when forcing an empty order, and the notifier
+        # lives on the real queue.
+        self._table.materialize(self._d, self._p).force(order)
+
+    def restore(self, vec: Tuple) -> None:
+        q = self._peek()
+        if q is None:
+            if vec == EMPTY_QUEUE_STATE:
+                return
+            q = self._table.materialize(self._d, self._p)
+        q.restore(vec)
+
+    def __repr__(self) -> str:
+        q = self._peek()
+        if q is None:
+            return f"FairChoiceQueue([], policy={self._table.policy})"
+        return repr(q)
+
+
+class _QueueRowView:
+    """``table[d]`` — indexable by processor, yielding queue handles."""
+
+    __slots__ = ("_table", "_d")
+
+    def __init__(self, table: "LazyChoiceTable", d) -> None:
+        self._table = table
+        self._d = d
+
+    def __getitem__(self, p: ProcId) -> _QueueHandle:
+        return _QueueHandle(self._table, self._d, p)
+
+
+class LazyChoiceTable:
+    """Sparse ``{d: {p: FairChoiceQueue}}`` store of all ``choice_p(d)``
+    queues of one SSMFP instance.
+
+    Queues are materialized on first mutation and evicted once clean-empty
+    again (:meth:`evict_if_clean`); an absent queue reads as clean-empty
+    through the ``table[d][p]`` handles, which is semantically identical —
+    memory is O(queues with content or candidates), not O(n²).
+    """
+
+    __slots__ = ("policy", "_wait_cap", "_wait_slowdown", "_rows", "_notify")
+
+    def __init__(
+        self,
+        policy: str = "fifo",
+        wait_cap: int = 256,
+        wait_slowdown: int = 32,
+    ) -> None:
+        # Validate eagerly: the dense table constructed n² queues at init,
+        # surfacing bad parameters immediately, and callers rely on that.
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown choice policy {policy!r}; want one of {_POLICIES}")
+        if wait_cap < 1:
+            raise ValueError(f"wait_cap must be positive, got {wait_cap}")
+        if wait_slowdown < 1:
+            raise ValueError(f"wait_slowdown must be positive, got {wait_slowdown}")
+        self.policy = policy
+        self._wait_cap = wait_cap
+        self._wait_slowdown = wait_slowdown
+        self._rows: Dict[object, Dict[ProcId, FairChoiceQueue]] = {}
+        self._notify: Optional[ChangeNotifier] = None
+
+    def bind_notifier(self, notify: Optional[ChangeNotifier]) -> None:
+        """Install the change hook applied (with key ``(d, p)``) to every
+        queue, existing and future."""
+        self._notify = notify
+        for d, row in self._rows.items():
+            for p, q in row.items():
+                q.bind_notifier(notify, (d, p))
+
+    def __getitem__(self, d) -> _QueueRowView:
+        return _QueueRowView(self, d)
+
+    def peek(self, d, p) -> Optional[FairChoiceQueue]:
+        """The materialized queue, or None — never materializes."""
+        row = self._rows.get(d)
+        return None if row is None else row.get(p)
+
+    def head(self, d, p) -> Optional[ProcId]:
+        """``choice_p(d)`` without allocating a handle (hot-path read)."""
+        row = self._rows.get(d)
+        if row is None:
+            return None
+        q = row.get(p)
+        return None if q is None else q.head()
+
+    def materialize(self, d, p) -> FairChoiceQueue:
+        """Get-or-create the real queue at ``(d, p)``."""
+        row = self._rows.get(d)
+        if row is None:
+            row = self._rows[d] = {}
+        q = row.get(p)
+        if q is None:
+            q = row[p] = FairChoiceQueue(
+                self.policy,
+                wait_cap=self._wait_cap,
+                wait_slowdown=self._wait_slowdown,
+            )
+            if self._notify is not None:
+                q.bind_notifier(self._notify, (d, p))
+        return q
+
+    def evict_if_clean(self, d, p) -> bool:
+        """Drop the queue at ``(d, p)`` if it is clean-empty.  Unobservable:
+        re-materialization yields the identical state, and no notification
+        fires (the head was and stays None)."""
+        row = self._rows.get(d)
+        if row is None:
+            return False
+        q = row.get(p)
+        if q is None or q.state() != EMPTY_QUEUE_STATE:
+            return False
+        del row[p]
+        if not row:
+            del self._rows[d]
+        return True
+
+    def iter_materialized(self) -> Iterable[Tuple[object, ProcId, FairChoiceQueue]]:
+        """Every materialized queue as ``(d, p, queue)`` (unordered)."""
+        for d, row in self._rows.items():
+            for p, q in row.items():
+                yield d, p, q
+
+    def sorted_states(self) -> List[Tuple]:
+        """Canonical sparse serialization: ``(d, p, state)`` ascending for
+        every queue with nonempty state — identical across differently
+        materialized instances of the same logical configuration."""
+        out = []
+        for d in sorted(self._rows):
+            row = self._rows[d]
+            for p in sorted(row):
+                state = row[p].state()
+                if state != EMPTY_QUEUE_STATE:
+                    out.append((d, p, state))
+        return out
+
+    def materialized_destinations(self) -> set:
+        """Destinations with at least one materialized queue — the memory
+        footprint index used by tests and the scale bench."""
+        return set(self._rows)
+
+    def materialized_count(self) -> int:
+        return sum(len(row) for row in self._rows.values())

@@ -53,7 +53,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.app.higher_layer import HigherLayer
 from repro.core.buffers import ForwardingBuffers
-from repro.core.choice import FairChoiceQueue
+from repro.core.choice import LazyChoiceTable
 from repro.core.colors import free_color
 from repro.core.ledger import DeliveryLedger
 from repro.core.rules import ALL_RULES
@@ -94,18 +94,15 @@ class SSMFP(Protocol):
         self.ledger = ledger if ledger is not None else DeliveryLedger()
         self.factory = MessageFactory()
         self.bufs = ForwardingBuffers(net.n)
-        #: ``queues[d][p]`` — the ``choice_p(d)`` fairness queue.
-        self.queues: List[List[FairChoiceQueue]] = [
-            [
-                FairChoiceQueue(
-                    choice_policy,
-                    wait_cap=choice_wait_cap,
-                    wait_slowdown=choice_wait_slowdown,
-                )
-                for _ in net.processors()
-            ]
-            for _ in net.processors()
-        ]
+        #: ``queues[d][p]`` — the ``choice_p(d)`` fairness queue.  Sparse:
+        #: queues materialize on first mutation and are evicted once
+        #: clean-empty again (an absent queue reads as clean-empty, which is
+        #: the identical observable state).
+        self.queues = LazyChoiceTable(
+            choice_policy,
+            wait_cap=choice_wait_cap,
+            wait_slowdown=choice_wait_slowdown,
+        )
         #: The paper's Δ; colors live in {0..Δ}.
         self.delta = max_degree(net)
         self._choice_policy = choice_policy
@@ -135,10 +132,9 @@ class SSMFP(Protocol):
         self.component_evals = 0
         #: Queues to re-sync at the next ``before_step``, per destination.
         self._resync: Dict[DestId, Set[ProcId]] = {}
-        #: Cached ``next_hop`` values, ``None`` = not yet queried.
-        self._nh_cache: List[List[Optional[ProcId]]] = [
-            [None] * n for _ in range(n)
-        ]
+        #: Cached ``next_hop`` values, sparse ``{d: {q: hop}}`` — absent =
+        #: not yet queried.
+        self._nh_cache: Dict[DestId, Dict[ProcId, ProcId]] = {}
         #: Closed neighborhood of every processor, precomputed.
         self._nbhd: List[Tuple[ProcId, ...]] = [
             (p, *net.neighbors(p)) for p in net.processors()
@@ -150,10 +146,8 @@ class SSMFP(Protocol):
             self.bufs.add_notifier(self._on_buffer_write)
             self.hl.bind_notifier(self._on_request_change)
             routing.add_observer(self._on_routing_change)
-            for d in net.processors():
-                row = self.queues[d]
-                for p in net.processors():
-                    row[p].bind_notifier(self._on_queue_event, (d, p))
+            # Applied to every queue at materialization with key (d, p).
+            self.queues.bind_notifier(self._on_queue_event)
 
     # -- procedures of Algorithm 1 ------------------------------------------
 
@@ -168,11 +162,12 @@ class SSMFP(Protocol):
         routing observer; bypassed for non-notifying providers)."""
         if not self._incremental:
             return self.routing.next_hop(q, d)
-        row = self._nh_cache[d]
-        hop = row[q]
+        row = self._nh_cache.get(d)
+        if row is None:
+            row = self._nh_cache[d] = {}
+        hop = row.get(q)
         if hop is None:
-            hop = self.routing.next_hop(q, d)
-            row[q] = hop
+            hop = row[q] = self.routing.next_hop(q, d)
         return hop
 
     def candidates(self, p: ProcId, d: DestId) -> Set[ProcId]:
@@ -180,9 +175,9 @@ class SSMFP(Protocol):
         emission buffer targets ``p``, plus ``p`` itself when it wants to
         generate for ``d``."""
         cand: Set[ProcId] = set()
-        buf_e = self.bufs.E[d]
+        get_e = self.bufs.get_e
         for q in self.net.neighbors(p):
-            if buf_e[q] is not None and self.next_hop(q, d) == p:
+            if get_e(d, q) is not None and self.next_hop(q, d) == p:
                 cand.add(q)
         if self.hl.request[p] and self.hl.next_destination(p) == d:
             cand.add(p)
@@ -235,12 +230,12 @@ class SSMFP(Protocol):
         sets of ``p``'s neighbors, and R5 at holders of copies last
         forwarded by ``p`` (always within the closed neighborhood)."""
         if p is None or d is None:
-            for row in self._nh_cache:
-                for i in range(len(row)):
-                    row[i] = None
+            self._nh_cache.clear()
             self.mark_all_dirty()
             return
-        self._nh_cache[d][p] = None
+        row = self._nh_cache.get(d)
+        if row is not None:
+            row.pop(p, None)
         if self._all_dirty:
             return
         nbhd = self._nbhd[p]
@@ -308,27 +303,42 @@ class SSMFP(Protocol):
             # no request yet, every stale entry is a non-candidate); purging
             # now is trace-equivalent because guards never read queues of
             # inactive components, and it keeps the incremental resync
-            # channel free of pre-execution residue.  aged_fair skips this:
-            # it full-reconciles every step, so residue is handled exactly
-            # like the classic engine already.
+            # channel free of pre-execution residue.  Only *materialized*
+            # queues can hold residue — an absent queue is clean-empty by
+            # construction — so the sweep is O(materialized), not O(n²).
+            # aged_fair skips this: it full-reconciles every step, so
+            # residue is handled exactly like the classic engine already.
             self._residue_purged = True
-            for d in procs:
-                if d not in active:
-                    for p in procs:
-                        self._sync_queue(d, p)
+            stale = [
+                (d, p)
+                for d, p, _ in self.queues.iter_materialized()
+                if d not in active
+            ]
+            for d, p in stale:
+                self._sync_queue(d, p)
 
     def _sync_queue(self, d: DestId, p: ProcId) -> None:
         cand = self.candidates(p, d)
+        queue = self.queues.peek(d, p)
+        if queue is None:
+            if not cand:
+                return  # absent queue ≡ clean-empty: nothing to reconcile
+            queue = self.queues.materialize(d, p)
         if self._aged:
-            buf_e = self.bufs.E[d]
-            priority = {
-                q: buf_e[q].hops
-                for q in cand
-                if q != p and buf_e[q] is not None
-            }
-            self.queues[d][p].sync(cand, priority)
+            get_e = self.bufs.get_e
+            priority = {}
+            for q in cand:
+                if q != p:
+                    msg = get_e(d, q)
+                    if msg is not None:
+                        priority[q] = msg.hops
+            queue.sync(cand, priority)
         else:
-            self.queues[d][p].sync(cand)
+            queue.sync(cand)
+        if not cand:
+            # Quiescence eviction: a drained queue with no candidates is
+            # indistinguishable from an absent one, so drop it.
+            self.queues.evict_if_clean(d, p)
 
     def active_destinations(self) -> Set[DestId]:
         """Destinations whose component holds messages or has a pending
@@ -357,9 +367,9 @@ class SSMFP(Protocol):
         """
         bufs = self.bufs
         if (
-            bufs.R[d][pid] is None
-            and bufs.E[d][pid] is None
-            and self.queues[d][pid].head() is None
+            bufs.get_r(d, pid) is None
+            and bufs.get_e(d, pid) is None
+            and self.queues.head(d, pid) is None
         ):
             return []
         actions: List[Action] = []
@@ -396,7 +406,9 @@ class SSMFP(Protocol):
             acts = self._eval_component(pid, d)
             if acts:
                 entries[d] = acts
-        cache.dirty[pid].clear()
+        dirty = cache.dirty.get(pid)
+        if dirty:
+            dirty.clear()
         cache.valid[pid] = True
 
     def _reconcile_components(self, pid: ProcId) -> None:
@@ -420,7 +432,7 @@ class SSMFP(Protocol):
         cache = self._components
         if not cache.valid[pid]:
             self._rebuild_components(pid)
-        elif cache.dirty[pid]:
+        elif cache.dirty.get(pid):
             self._reconcile_components(pid)
         cache.dirty_pids.discard(pid)
         return cache.assemble(pid)
@@ -455,17 +467,9 @@ class SSMFP(Protocol):
         (component dirt, ``next_hop`` cache, resync sets) are derived
         state: :meth:`restore` repairs them through the ordinary change
         notifiers."""
-        n = self.net.n
-        queues = []
-        for d in range(n):
-            row = self.queues[d]
-            for p in range(n):
-                state = row[p].state()
-                if state != ((), ()):
-                    queues.append((d, p, state))
         return (
             self.bufs.snapshot(),
-            tuple(queues),
+            tuple(self.queues.sorted_states()),
             self.hl.snapshot(),
             self.ledger.snapshot(),
             self.factory.snapshot(),
@@ -480,17 +484,17 @@ class SSMFP(Protocol):
         bufs_vec, queues_vec, hl_vec, ledger_vec, factory_vec, step = vec
         self.bufs.restore(bufs_vec)
         target = {(d, p): state for d, p, state in queues_vec}
-        n = self.net.n
         empty = ((), ())
-        for d in range(n):
-            row = self.queues[d]
-            for p in range(n):
-                queue = row[p]
-                state = target.get((d, p))
-                if state is not None:
-                    queue.restore(state)
-                elif len(queue) or queue.state() != empty:
+        # Materialized queues absent from the target go back to clean-empty
+        # (with the same "mutate" notification a dense restore fired) and
+        # are then evicted; unmaterialized ones are clean-empty already.
+        for d, p, queue in list(self.queues.iter_materialized()):
+            if (d, p) not in target:
+                if len(queue) or queue.state() != empty:
                     queue.restore(empty)
+                self.queues.evict_if_clean(d, p)
+        for (d, p), state in target.items():
+            self.queues.materialize(d, p).restore(state)
         self.hl.restore(hl_vec)
         self.ledger.restore(ledger_vec)
         self.factory.restore(factory_vec)

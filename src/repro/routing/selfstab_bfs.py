@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.network.graph import Network
-from repro.network.properties import all_pairs_distances
+from repro.network.properties import bfs_distances
+from repro.routing.lazyrows import LazyRows
 from repro.routing.table import RoutingService
 from repro.statemodel.action import Action
 from repro.statemodel.components import ComponentDirtyCache
@@ -63,19 +64,13 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         self._net = net
         n = net.n
         self._cap = max(n - 1, 1)
-        # dist[d][p], hop[d][p]; initialized at the correct fixpoint.
-        self._true_dist = all_pairs_distances(net)
-        self.dist: List[List[int]] = [list(self._true_dist[d]) for d in range(n)]
-        self.hop: List[List[ProcId]] = []
-        for d in net.processors():
-            row: List[ProcId] = []
-            td = self._true_dist[d]
-            for p in net.processors():
-                if p == d:
-                    row.append(p)
-                else:
-                    row.append(min(q for q in net.neighbors(p) if td[q] == td[p] - 1))
-            self.hop.append(row)
+        # dist[d][p], hop[d][p]; logically initialized at the correct
+        # fixpoint, but *lazily*: a row materializes (at the fixpoint, one
+        # BFS) only when first read or written, and an absent row reads as
+        # converged — O(live destinations × n) memory instead of O(n²).
+        self._true_dist = LazyRows(lambda d: bfs_distances(net, d))
+        self.dist: LazyRows = LazyRows(self._fixpoint_dist_row)
+        self.hop: LazyRows = LazyRows(self._fixpoint_hop_row)
         # Incremental-engine bookkeeping.  The all-dirty regime is the safe
         # initial state (external code may have scrambled the tables) and
         # the fallback after :meth:`invalidate`; it ends — and the component
@@ -86,6 +81,27 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         self.component_evals = 0
         #: Closed neighborhood of every processor, precomputed.
         self._nbhd = [(p, *net.neighbors(p)) for p in net.processors()]
+
+    def _fixpoint_dist_row(self, d: DestId) -> List[int]:
+        """The converged distance row for destination ``d``."""
+        return list(self._true_dist[d])
+
+    def _fixpoint_hop_row(self, d: DestId) -> List[ProcId]:
+        """The converged hop row for ``d`` (smallest-id parent tie-break)."""
+        net = self._net
+        td = self._true_dist[d]
+        row: List[ProcId] = []
+        for p in net.processors():
+            if p == d:
+                row.append(p)
+            else:
+                row.append(min(q for q in net.neighbors(p) if td[q] == td[p] - 1))
+        return row
+
+    def _touched_destinations(self) -> Set[DestId]:
+        """Destinations with any materialized table row — the only ones
+        that can deviate from the fixpoint (direct writes materialize)."""
+        return self.dist.materialized() | self.hop.materialized()
 
     # -- incremental-engine hooks -------------------------------------------
 
@@ -126,9 +142,10 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
 
     def is_correct(self) -> bool:
         """True iff every entry equals the converged fixpoint (correct
-        distance, smallest-id closer neighbor)."""
+        distance, smallest-id closer neighbor).  Only materialized rows are
+        examined: an absent row *is* the fixpoint by construction."""
         net = self._net
-        for d in net.processors():
+        for d in sorted(self._touched_destinations()):
             td = self._true_dist[d]
             dist_row, hop_row = self.dist[d], self.hop[d]
             for p in net.processors():
@@ -163,6 +180,10 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
 
     def _eval_component(self, pid: ProcId, d: DestId) -> List[Action]:
         """RTself/RTfix at the single component ``(pid, d)``."""
+        if self.dist.peek(d) is None and self.hop.peek(d) is None:
+            # Unmaterialized row ≡ converged fixpoint: silent, no rule
+            # enabled — and evaluating it must not materialize anything.
+            return []
         if pid == d:
             if self.dist[d][pid] != 0 or self.hop[d][pid] != pid:
                 return [self._make_self_action(pid, d)]
@@ -173,12 +194,15 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         return []
 
     def _scan_actions(self, pid: ProcId, count: bool) -> List[Action]:
-        """Classic scan over all ``n`` destination components."""
-        n = self._net.n
+        """Classic scan over the destination components that can possibly
+        be enabled — the materialized rows (ascending, as the dense scan
+        examined them); every unmaterialized row is at the fixpoint and
+        silent by construction."""
+        dests = sorted(self._touched_destinations())
         if count:
-            self.component_evals += n
+            self.component_evals += len(dests)
         actions: List[Action] = []
-        for d in range(n):
+        for d in dests:
             actions.extend(self._eval_component(pid, d))
         return actions
 
@@ -189,25 +213,26 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
         if not cache.valid[pid]:
             entries = cache.entries[pid]
             entries.clear()
-            n = self._net.n
-            self.component_evals += n
-            for d in range(n):
+            dests = sorted(self._touched_destinations())
+            self.component_evals += len(dests)
+            for d in dests:
                 acts = self._eval_component(pid, d)
                 if acts:
                     entries[d] = acts
             cache.dirty[pid].clear()
             cache.valid[pid] = True
-        elif cache.dirty[pid]:
-            entries = cache.entries[pid]
-            dirty = cache.dirty[pid]
-            self.component_evals += len(dirty)
-            for d in dirty:
-                acts = self._eval_component(pid, d)
-                if acts:
-                    entries[d] = acts
-                else:
-                    entries.pop(d, None)
-            dirty.clear()
+        else:
+            dirty = cache.dirty.get(pid)
+            if dirty:
+                entries = cache.entries[pid]
+                self.component_evals += len(dirty)
+                for d in dirty:
+                    acts = self._eval_component(pid, d)
+                    if acts:
+                        entries[d] = acts
+                    else:
+                        entries.pop(d, None)
+                dirty.clear()
         cache.dirty_pids.discard(pid)
         return cache.assemble(pid)
 
@@ -248,30 +273,50 @@ class SelfStabilizingBFSRouting(Protocol, RoutingService):
             self._notify_entry(p, d)
 
     def dump(self) -> Dict[str, object]:
+        """Materialized rows only — an absent destination is at its
+        fixpoint and contributes nothing."""
         return {
-            "dist": [list(row) for row in self.dist],
-            "hop": [list(row) for row in self.hop],
+            "dist": {d: list(self.dist[d]) for d in sorted(self.dist.materialized())},
+            "hop": {d: list(self.hop[d]) for d in sorted(self.hop.materialized())},
         }
 
     # -- snapshot/restore ----------------------------------------------------
 
     def snapshot(self) -> StateVector:
-        """State vector: the ``dist``/``hop`` tables (the protocol's only
-        mutable state — the dirty bookkeeping is derived)."""
-        return (
-            tuple(tuple(row) for row in self.dist),
-            tuple(tuple(row) for row in self.hop),
-        )
+        """Sparse canonical state vector: one ``(d, dist_row, hop_row)``
+        entry per destination whose row deviates from the converged
+        fixpoint, ascending.  Canonical: a materialized-but-converged row
+        serializes identically to an absent one, so two differently
+        materialized instances of the same logical table produce the same
+        vector.  (The dirty bookkeeping is derived state, not captured.)"""
+        entries = []
+        for d in sorted(self._touched_destinations()):
+            dist_row, hop_row = self.dist[d], self.hop[d]
+            if dist_row == self._fixpoint_dist_row(d) and hop_row == self._fixpoint_hop_row(d):
+                continue
+            entries.append((d, tuple(dist_row), tuple(hop_row)))
+        return tuple(entries)
 
     def restore(self, vec: StateVector) -> None:
         """Diff-restore through :meth:`_write`, so both dirty channels —
         this protocol's own guards and the ``next_hop`` observers — see
-        exactly the entries that changed."""
-        dist, hop = vec
+        exactly the entries that changed.  Rows absent from the vector go
+        back to the fixpoint and are then evicted (quiescence: a converged
+        row costs no memory again)."""
+        target = {d: (dist_row, hop_row) for d, dist_row, hop_row in vec}
         n = self._net.n
-        for d in range(n):
+        for d in sorted(self._touched_destinations() - set(target)):
+            fix_dist = self._fixpoint_dist_row(d)
+            fix_hop = self._fixpoint_hop_row(d)
             dist_row, hop_row = self.dist[d], self.hop[d]
-            new_dist, new_hop = dist[d], hop[d]
+            for p in range(n):
+                if dist_row[p] != fix_dist[p] or hop_row[p] != fix_hop[p]:
+                    self._write(d, p, fix_dist[p], fix_hop[p])
+            self.dist.evict(d)
+            self.hop.evict(d)
+        for d in sorted(target):
+            new_dist, new_hop = target[d]
+            dist_row, hop_row = self.dist[d], self.hop[d]
             for p in range(n):
                 if dist_row[p] != new_dist[p] or hop_row[p] != new_hop[p]:
                     self._write(d, p, new_dist[p], new_hop[p])

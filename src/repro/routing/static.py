@@ -14,6 +14,7 @@ from typing import List
 
 from repro.network.graph import Network
 from repro.network.properties import bfs_tree
+from repro.routing.lazyrows import LazyRows
 from repro.routing.table import RoutingService
 from repro.types import DestId, ProcId
 
@@ -24,6 +25,11 @@ class StaticRouting(RoutingService):
     ``next_hop(p, d)`` is the parent of ``p`` in the BFS tree rooted at
     ``d`` (smallest-id tie-break), i.e. a neighbor of ``p`` strictly closer
     to ``d``; ``next_hop(d, d) == d``.
+
+    Rows are computed lazily, one BFS per destination on first lookup, and
+    cached: a node that only ever routes toward a handful of destinations
+    pays O(live destinations × n) memory, not O(n²) up front.  The result
+    is identical to the eager table — the trees are deterministic.
     """
 
     # Immutable tables: "every mutation is reported" holds vacuously.
@@ -31,11 +37,12 @@ class StaticRouting(RoutingService):
 
     def __init__(self, net: Network) -> None:
         self._net = net
-        # _hop[d][p] = parent of p in T_d (None only for p == d).
-        self._hop: List[List[ProcId]] = []
-        for d in net.processors():
-            parent = bfs_tree(net, d)
-            self._hop.append([p if p == d else parent[p] for p in net.processors()])
+        # _hop[d][p] = parent of p in T_d, materialized per destination.
+        self._hop = LazyRows(self._tree_row)
+
+    def _tree_row(self, d: DestId) -> List[ProcId]:
+        parent = bfs_tree(self._net, d)
+        return [p if p == d else parent[p] for p in self._net.processors()]
 
     @property
     def network(self) -> Network:

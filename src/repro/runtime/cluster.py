@@ -38,6 +38,7 @@ from repro.routing.static import StaticRouting
 from repro.runtime.conformance import ConformanceReport, RuntimeEvent, check_events
 from repro.runtime.netem import NetemConfig, NetemTransport
 from repro.runtime.node import RuntimeNode, RuntimeParams
+from repro.runtime.sharding import partition as shard_destinations
 from repro.runtime.transport import (
     LocalTransport,
     TcpTransport,
@@ -143,6 +144,14 @@ class RuntimeResult:
         """Delivered messages per second of wall clock."""
         return self.report.delivered / self.elapsed_s if self.elapsed_s else 0.0
 
+    @property
+    def records_dropped(self) -> int:
+        """Hop-protocol records discarded by the transport layer (edge-queue
+        overflow against a stalled peer, frames for unknown inboxes).  The
+        windowed protocol retransmits, so drops cost latency rather than
+        messages — but they are never silent."""
+        return self.transport_stats.get("records_dropped", 0)
+
     def summary(self) -> str:
         """Human-readable run summary (printed by the CLI)."""
         status = "PARTIAL" if self.partial else "OK"
@@ -205,12 +214,19 @@ class RuntimeResult:
         for sample in self.window_samples:
             occupancy.observe(sample)
         msg_latency = registry.histogram("runtime_msg_latency_s")
-        generated_at: Dict[int, float] = {}
+        # Durations live in the monotonic clock domain: a wall-clock step
+        # (NTP) between generate and deliver must not skew the histogram.
+        # Events without a monotonic stamp (mono == 0.0, synthetic logs)
+        # are skipped rather than silently measured on the wrong clock.
+        generated_mono: Dict[int, float] = {}
         for event in self.events:
             if event.kind == "generated":
-                generated_at[event.uid] = event.t
-            elif event.kind == "delivered" and event.uid in generated_at:
-                msg_latency.observe(max(0.0, event.t - generated_at[event.uid]))
+                if event.mono:
+                    generated_mono[event.uid] = event.mono
+            elif event.kind == "delivered" and event.mono:
+                start = generated_mono.get(event.uid)
+                if start is not None:
+                    msg_latency.observe(max(0.0, event.mono - start))
         registry.gauge("runtime_partial").set(1 if self.partial else 0)
         registry.gauge("runtime_elapsed_s").set(round(self.elapsed_s, 3))
         registry.gauge("runtime_throughput_msgs").set(round(self.throughput, 1))
@@ -442,9 +458,11 @@ def _run_multiprocess(spec: ClusterSpec, result: RuntimeResult) -> None:
     submissions = spec.build_submissions()
     target = len(submissions)
     ports = allocate_ports(net, base=spec.port_base)
-    groups: List[List[int]] = [[] for _ in range(spec.procs)]
-    for pid in net.processors():
-        groups[pid % spec.procs].append(pid)
+    # Destination sharding by consistent hash: worker i hosts exactly the
+    # nodes (= destinations) its ring shard owns, so the per-destination
+    # state of the whole cluster is partitioned disjointly, and changing
+    # the worker count relocates only ~1/procs of the destinations.
+    groups = shard_destinations(net.processors(), spec.procs)
     ctx = mp.get_context("spawn")
     stop_event = ctx.Event()
     delivered = ctx.Value("i", 0)

@@ -35,9 +35,15 @@ class RuntimeEvent:
 
     ``order`` is the node-local event index: events of one node are totally
     ordered, which is all sequence consistency needs (generations order at
-    the source, deliveries order at the destination).  ``t`` is a wall
-    timestamp (comparable across processes on one machine) used for
-    latency metrics, never for correctness.
+    the source, deliveries order at the destination).  Two timestamps, two
+    jobs: ``t`` is a wall-clock stamp for human-readable report rows only;
+    ``mono`` is ``time.monotonic()`` (CLOCK_MONOTONIC — comparable across
+    processes on one machine) and is the *only* stamp durations may be
+    computed from — a wall-clock step (NTP, manual adjustment) between two
+    events must never skew a latency metric.  Neither is used for
+    correctness.  ``mono == 0.0`` marks an event from a source that does
+    not stamp monotonic time (synthetic test events); duration metrics
+    skip such pairs.
     """
 
     kind: str       #: "generated" | "delivered"
@@ -45,8 +51,9 @@ class RuntimeEvent:
     node: ProcId    #: source for generations, destination for deliveries
     dest: DestId
     valid: bool
-    t: float
+    t: float        #: wall clock — for exported rows, never for durations
     order: int
+    mono: float = 0.0  #: monotonic clock — the duration domain
 
 
 @dataclass

@@ -148,6 +148,51 @@ class _InLane:
     coalesced: int = 0  #: DATA records covered since the last ACK went out
 
 
+class _DestQueues:
+    """Sparse ``dest -> deque`` store for the forwarding/outbox queues.
+
+    A runtime node talks to a handful of live destinations at a time, so
+    the per-destination queues materialize on first use and are evicted
+    once drained — memory tracks the live set, not ``n``.  Reads through
+    ``[d]`` never materialize: an absent destination reads as the empty
+    sequence, the same absent≡empty invariant the state model's sparse
+    buffers rely on.
+    """
+
+    __slots__ = ("_queues",)
+
+    def __init__(self) -> None:
+        self._queues: Dict[DestId, Deque] = {}
+
+    def __getitem__(self, d: DestId):
+        """The live deque, or ``()`` (read-only empty) when absent."""
+        return self._queues.get(d, ())
+
+    def ensure(self, d: DestId) -> Deque:
+        """Get-or-create the real mutable deque for ``d``."""
+        queue = self._queues.get(d)
+        if queue is None:
+            queue = self._queues[d] = deque()
+        return queue
+
+    def size(self, d: DestId) -> int:
+        queue = self._queues.get(d)
+        return 0 if queue is None else len(queue)
+
+    def evict(self, d: DestId) -> None:
+        """Drop ``d``'s queue iff it is drained (no-op otherwise)."""
+        queue = self._queues.get(d)
+        if queue is not None and not queue:
+            del self._queues[d]
+
+    def live(self) -> Set[DestId]:
+        """Destinations with a materialized queue (footprint index)."""
+        return set(self._queues)
+
+    def empty(self) -> bool:
+        return all(not queue for queue in self._queues.values())
+
+
 class RuntimeNode:
     """One live processor: window lanes, an inbox, and a run loop."""
 
@@ -170,10 +215,10 @@ class RuntimeNode:
         self._rto_start = min(
             max(self.params.rto_initial, self._rto_floor), self._rto_ceil
         )
-        n = net.n
-        #: Released records awaiting forwarding (or delivery), per dest.
-        self.fwd: List[Deque[RuntimeRecord]] = [deque() for _ in range(n)]
-        self.outbox: List[Deque[Any]] = [deque() for _ in range(n)]
+        #: Released records awaiting forwarding (or delivery), per dest —
+        #: sparse: queues exist only for destinations with live traffic.
+        self.fwd = _DestQueues()
+        self.outbox = _DestQueues()
         self._out_lanes: Dict[Tuple[ProcId, DestId], _OutLane] = {}
         self._in_lanes: Dict[Tuple[ProcId, DestId], _InLane] = {}
         self._ack_dirty: Set[Tuple[ProcId, DestId]] = set()
@@ -212,7 +257,7 @@ class RuntimeNode:
         """Queue an application send (FIFO per destination)."""
         if dest == self.pid:
             raise ValueError("self-addressed messages never enter the network")
-        self.outbox[dest].append(payload)
+        self.outbox.ensure(dest).append(payload)
         self._active.add(dest)
 
     def stop(self) -> None:
@@ -222,8 +267,8 @@ class RuntimeNode:
     def is_idle(self) -> bool:
         """True iff no queue, lane or inbox item holds anything."""
         return (
-            all(not q for q in self.fwd)
-            and all(not q for q in self.outbox)
+            self.fwd.empty()
+            and self.outbox.empty()
             and all(
                 not lane.unacked and lane.rel_confirmed >= lane.rel_cum
                 for lane in self._out_lanes.values()
@@ -350,7 +395,7 @@ class RuntimeNode:
             lane.ack_due = True
             self._ack_dirty.add(key)
         elif seq == lane.cum + 1:
-            if len(lane.pending) + len(self.fwd[d]) >= self.params.recv_queue:
+            if len(lane.pending) + self.fwd.size(d) >= self.params.recv_queue:
                 # Backpressure: stay silent, the sender's timer retries.
                 self.counters["recv_backpressure"] += 1
                 return
@@ -370,7 +415,7 @@ class RuntimeNode:
             if seq in lane.ooo:
                 self.counters["dup_data_acked"] += 1
             elif (
-                len(lane.ooo) + len(lane.pending) + len(self.fwd[d])
+                len(lane.ooo) + len(lane.pending) + self.fwd.size(d)
                 >= self.params.recv_queue
             ):
                 self.counters["recv_backpressure"] += 1
@@ -405,12 +450,10 @@ class RuntimeNode:
             return
         lane.rel_cum = effective
         pending = lane.pending
-        fwd = self.fwd[d]
-        moved = False
-        while pending and pending[0][0] <= effective:
-            fwd.append(pending.popleft()[1])
-            moved = True
-        if moved:
+        if pending and pending[0][0] <= effective:
+            fwd = self.fwd.ensure(d)
+            while pending and pending[0][0] <= effective:
+                fwd.append(pending.popleft()[1])
             self._active.add(d)
 
     def _on_ack(
@@ -538,6 +581,7 @@ class RuntimeNode:
                         if self._delivered_hook is not None:
                             self._delivered_hook()
                     self._active.discard(d)
+                    self.fwd.evict(d)
                     continue
                 lane = self._out_lane(self.routing.next_hop(self.pid, d), d)
                 window = self._window
@@ -575,6 +619,8 @@ class RuntimeNode:
                     out.append((lane.nbr, rec))
                 if not fwd and not box:
                     self._active.discard(d)
+                    self.fwd.evict(d)
+                    self.outbox.evict(d)
         self._timers(now, out)
 
     def _emit_acks(self, out: List[Tuple[ProcId, Dict[str, Any]]]) -> None:
@@ -677,6 +723,10 @@ class RuntimeNode:
     def _append_event(
         self, kind: str, uid: int, dest: DestId, valid: bool = True
     ) -> None:
+        # Two clock domains, never mixed: ``t`` (wall) is for exported
+        # report rows only; ``mono`` (CLOCK_MONOTONIC, shared by every
+        # process on the machine) is what durations are computed from, so
+        # an NTP step mid-run cannot skew the latency histograms.
         self.events.append(
             RuntimeEvent(
                 kind=kind,
@@ -686,6 +736,7 @@ class RuntimeNode:
                 valid=valid,
                 t=time.time(),
                 order=self._event_order,
+                mono=time.monotonic(),
             )
         )
         self._event_order += 1

@@ -72,6 +72,7 @@ class Transport(ABC):
             "frames_dropped": 0,
             "records_sent": 0,
             "records_received": 0,
+            "records_dropped": 0,
             "reconnects": 0,
         }
         #: Readable wire-version mismatch reports (mixed-version cluster);
@@ -97,6 +98,7 @@ class Transport(ABC):
         inbox = self._inboxes.get(dst)
         if inbox is None:
             self.stats["frames_dropped"] += 1
+            self.stats["records_dropped"] += len(records)
             return
         self.stats["frames_received"] += 1
         self.stats["records_received"] += len(records)
@@ -175,7 +177,12 @@ class TcpTransport(Transport):
         self.backoff_cap = backoff_cap
         self.edge_queue = edge_queue
         self._servers: list = []
-        self._edge_queues: Dict[Tuple[ProcId, ProcId], "asyncio.Queue[bytes]"] = {}
+        #: Each queued item is (encoded frame, record count): the count
+        #: rides along so a drop-oldest overflow can account for the
+        #: records it discarded, not just the frame.
+        self._edge_queues: Dict[
+            Tuple[ProcId, ProcId], "asyncio.Queue[Tuple[bytes, int]]"
+        ] = {}
         self._edge_tasks: Dict[Tuple[ProcId, ProcId], "asyncio.Task"] = {}
         self._closing = False
 
@@ -265,12 +272,17 @@ class TcpTransport(Transport):
                 self._edge_pump(key)
             )
         if queue.full():  # drop-oldest: the hop protocol retransmits
+            # Never silent: both the frame and every record inside it are
+            # counted, so a stalled peer shows up in the run's stats (and
+            # the conformance report) instead of vanishing into a hang.
             try:
-                queue.get_nowait()
+                _, dropped_records = queue.get_nowait()
             except asyncio.QueueEmpty:
                 pass
-            self.stats["frames_dropped"] += 1
-        queue.put_nowait(frame)
+            else:
+                self.stats["frames_dropped"] += 1
+                self.stats["records_dropped"] += dropped_records
+        queue.put_nowait((frame, len(records)))
         self.stats["frames_sent"] += 1
         self.stats["records_sent"] += len(records)
 
@@ -285,14 +297,15 @@ class TcpTransport(Transport):
         backoff = self.backoff_base
         try:
             while True:
-                blob = await queue.get()
+                blob, _ = await queue.get()
                 # Write coalescing: everything queued behind the first
                 # frame goes out in the same syscall.
                 while True:
                     try:
-                        blob += queue.get_nowait()
+                        more, _ = queue.get_nowait()
                     except asyncio.QueueEmpty:
                         break
+                    blob += more
                 while not self._closing:
                     if writer is None:
                         try:

@@ -40,6 +40,62 @@ class TestOccupancy:
         assert bufs.E[1][0] is not None
 
 
+class TestTotalOccupiedCycles:
+    """Regression: ``total_occupied`` must track occupy / vacate /
+    re-occupy cycles exactly, summed over the sparse occupancy index —
+    never going negative, never leaking a count for a vacated cell, and
+    agreeing with a from-scratch recount at every point."""
+
+    def _recount(self, bufs):
+        return sum(1 for _ in bufs.iter_messages())
+
+    def test_occupy_vacate_reoccupy_cycle(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(4)
+        bufs.set_r(2, 1, make_msg(f, dest=2))
+        bufs.set_e(2, 3, make_msg(f, dest=2))
+        assert bufs.total_occupied() == 2 == self._recount(bufs)
+        bufs.set_r(2, 1, None)
+        assert bufs.total_occupied() == 1 == self._recount(bufs)
+        bufs.set_e(2, 3, None)
+        assert bufs.total_occupied() == 0 == self._recount(bufs)
+        # Re-occupy the same cells after full vacation.
+        bufs.set_r(2, 1, make_msg(f, dest=2))
+        assert bufs.total_occupied() == 1 == self._recount(bufs)
+
+    def test_clearing_empty_cell_is_a_noop(self):
+        bufs = ForwardingBuffers(3)
+        bufs.set_r(1, 0, None)
+        bufs.set_e(1, 2, None)
+        assert bufs.total_occupied() == 0
+        assert bufs.occupied_components() == set()
+
+    def test_interleaved_components_sum_correctly(self):
+        f = MessageFactory()
+        bufs = ForwardingBuffers(6)
+        for d in (1, 3, 5):
+            bufs.set_r(d, 0, make_msg(f, dest=d))
+        assert bufs.total_occupied() == 3 == self._recount(bufs)
+        bufs.set_r(3, 0, None)
+        assert bufs.total_occupied() == 2 == self._recount(bufs)
+        bufs.set_e(3, 2, make_msg(f, dest=3))
+        bufs.set_r(5, 0, None)
+        assert bufs.total_occupied() == 2 == self._recount(bufs)
+        # The sum covers exactly the occupied components, no stale entries.
+        assert bufs.occupied_components() == {1, 3}
+
+    def test_move_cycle_then_vacate(self):
+        bufs = ForwardingBuffers(3)
+        msg = make_msg()
+        for _ in range(3):  # repeated occupy -> move -> vacate cycles
+            bufs.set_r(1, 0, msg)
+            bufs.move_r_to_e(1, 0, msg.recolored(0, 1))
+            assert bufs.total_occupied() == 1 == self._recount(bufs)
+            bufs.set_e(1, 0, None)
+            assert bufs.total_occupied() == 0 == self._recount(bufs)
+        assert bufs.materialized_destinations() == set()
+
+
 class TestIteration:
     def test_iter_messages_yields_all(self):
         f = MessageFactory()

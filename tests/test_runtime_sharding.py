@@ -1,0 +1,100 @@
+"""Tests for consistent-hash destination sharding (repro.runtime.sharding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.sharding import DEFAULT_REPLICAS, HashRing, partition
+
+
+class TestHashRing:
+    def test_owner_in_range(self):
+        ring = HashRing(5)
+        assert all(0 <= ring.owner(k) < 5 for k in range(200))
+
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(7), HashRing(7)
+        assert [a.owner(k) for k in range(500)] == [b.owner(k) for k in range(500)]
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.owner(k) for k in range(100)} == {0}
+
+    def test_balance_is_reasonable(self):
+        # Not a statistical claim, a sanity bound: with 128 virtual points
+        # per shard, 4 shards over 4000 keys should each land within a
+        # factor of two of the even share.
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for key in range(4000):
+            counts[ring.owner(key)] += 1
+        assert min(counts) > 1000 // 2
+        assert max(counts) < 1000 * 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+        with pytest.raises(ConfigurationError):
+            HashRing(3, replicas=0)
+
+
+class TestPartition:
+    def test_disjoint_cover(self):
+        keys = list(range(64))
+        groups = partition(keys, 4)
+        seen = [k for group in groups for k in group]
+        assert sorted(seen) == keys          # cover
+        assert len(seen) == len(set(seen))   # disjoint
+        assert all(group == sorted(group) for group in groups)
+
+    def test_no_empty_shard(self):
+        # Small key sets are exactly where the ring can leave a shard dry;
+        # the deterministic steal must fill it.
+        for n in range(2, 24):
+            for shards in range(1, min(n, 8) + 1):
+                groups = partition(range(n), shards)
+                assert all(group for group in groups), (n, shards, groups)
+                assert sorted(k for g in groups for k in g) == list(range(n))
+
+    def test_deterministic(self):
+        assert partition(range(100), 5) == partition(range(100), 5)
+
+    def test_stability_under_shard_growth(self):
+        # The consistent-hash property: going from k to k+1 shards moves
+        # only a minority of the keys (expected ~1/(k+1); assert a loose
+        # bound well below the ~(k)/(k+1) churn of modulo assignment).
+        keys = list(range(2000))
+        k = 4
+        before = partition(keys, k)
+        after = partition(keys, k + 1)
+        owner_before = {key: i for i, g in enumerate(before) for key in g}
+        owner_after = {key: i for i, g in enumerate(after) for key in g}
+        moved = sum(1 for key in keys if owner_before[key] != owner_after[key])
+        assert moved / len(keys) < 0.5
+        # Modulo sharding moves nearly everything on the same transition.
+        modulo_moved = sum(1 for key in keys if key % k != key % (k + 1))
+        assert moved < modulo_moved
+
+    def test_more_shards_than_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition(range(3), 4)
+
+    def test_matches_ring_ownership_when_no_steal_needed(self):
+        keys = list(range(512))
+        ring = HashRing(4, replicas=DEFAULT_REPLICAS)
+        groups = partition(keys, 4)
+        by_ring = {k: ring.owner(k) for k in keys}
+        # With 512 keys over 4 shards nothing is empty, so partition is
+        # exactly the ring assignment.
+        for index, group in enumerate(groups):
+            assert all(by_ring[k] == index for k in group)
+
+
+class TestClusterUsesSharding:
+    def test_multiprocess_groups_are_ring_shards(self):
+        # The cluster's worker grouping must be the sharding module's
+        # partition of the processor ids (disjoint cover of destinations).
+        from repro.network.topologies import ring_network
+
+        net = ring_network(12)
+        groups = partition(net.processors(), 3)
+        assert sorted(p for g in groups for p in g) == list(net.processors())

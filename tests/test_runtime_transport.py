@@ -210,6 +210,57 @@ class TestTcpTransport:
 
         run(body())
 
+    def test_stalled_peer_overflow_counts_dropped_records(self):
+        # A peer that never comes up stalls the edge queue; once it is
+        # full, drop-oldest must account for every discarded frame AND
+        # every record inside it — a stalled peer shows up in the stats,
+        # never as a silent loss.
+        async def body():
+            net = line_network(2)
+            ports = allocate_ports(net)
+            sender = TcpTransport(
+                net, ports, local_pids=(0,),
+                backoff_base=0.02, backoff_cap=0.1, edge_queue=4,
+            )
+            sender.bind(0, asyncio.Queue())
+            await sender.start()
+            try:
+                # 10 frames of 3 records into a 4-deep queue: first frame
+                # fills slots 1-4, frames 5..10 each evict the oldest.
+                for i in range(10):
+                    await sender.send(
+                        0, 1,
+                        [data_rec(1, 3 * i + j + 1, 3 * i + j + 1, "x", True)
+                         for j in range(3)],
+                    )
+                assert sender.stats["frames_sent"] == 10
+                assert sender.stats["records_sent"] == 30
+                assert sender.stats["frames_dropped"] == 6
+                assert sender.stats["records_dropped"] == 18
+            finally:
+                await sender.close()
+
+        run(body())
+
+    def test_no_drops_reported_when_nothing_dropped(self):
+        async def body():
+            net = line_network(2)
+            ports = allocate_ports(net)
+            transport = TcpTransport(net, ports)
+            inbox = asyncio.Queue()
+            transport.bind(0, asyncio.Queue())
+            transport.bind(1, inbox)
+            await transport.start()
+            try:
+                await transport.send(0, 1, [ack_rec(1, 1)])
+                await asyncio.wait_for(inbox.get(), 5.0)
+                assert transport.stats["frames_dropped"] == 0
+                assert transport.stats["records_dropped"] == 0
+            finally:
+                await transport.close()
+
+        run(body())
+
     def test_sender_queues_while_peer_is_down(self):
         # The peer's server starts late; the edge pump must reconnect and
         # deliver the queued frame rather than lose it.
