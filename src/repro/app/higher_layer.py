@@ -181,6 +181,14 @@ class HigherLayer:
         box = self._outbox.get(p)
         return box[0][1] if box else None
 
+    def queued_destinations(self, p: ProcId) -> Tuple[DestId, ...]:
+        """Destinations of ``p``'s queued submissions, head first — the
+        verifier's partial-order reduction reads index 1 (the destination
+        the request handshake will concern *after* the current head is
+        generated)."""
+        box = self._outbox.get(p)
+        return tuple(item[1] for item in box) if box else ()
+
     def consume_request(self, p: ProcId) -> Pending:
         """Rule R1's write-back: pop the waiting message and lower
         ``request_p``.  Returns the (payload, dest) that was generated."""

@@ -84,9 +84,62 @@ def _build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--max-steps", type=int, default=500_000)
 
     ver = sub.add_parser(
-        "verify", help="re-run a record and check the fingerprint matches"
+        "verify",
+        help="re-run a record and check the fingerprint matches, or "
+             "(without a record) model-check an instance exhaustively",
     )
-    ver.add_argument("record", help="path to a JSON record")
+    ver.add_argument(
+        "record", nargs="?", default=None,
+        help="path to a JSON record; omit to model-check the instance "
+             "described by the flags below instead",
+    )
+    ver.add_argument(
+        "--topology", default="line", choices=sorted(_TOPOLOGY_ARGS)
+    )
+    ver.add_argument("--n", type=int, default=3)
+    ver.add_argument("--rows", type=int, default=2)
+    ver.add_argument("--cols", type=int, default=2)
+    ver.add_argument("--dim", type=int, default=2)
+    ver.add_argument(
+        "--messages", type=int, default=2,
+        help="submissions fed to the instance (round-robin sources, "
+             "seeded random destinations)",
+    )
+    ver.add_argument(
+        "--garbage", type=float, default=0.0,
+        help="fraction of buffers pre-filled with invalid messages",
+    )
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument(
+        "--engine", default="snapshot",
+        choices=["snapshot", "deepcopy", "parallel"],
+    )
+    ver.add_argument(
+        "--reduction", default="none",
+        choices=["none", "por", "symmetry", "full"],
+        help="state-space reduction (snapshot/parallel engines only)",
+    )
+    ver.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --engine parallel",
+    )
+    ver.add_argument(
+        "--liveness", action="store_true",
+        help="also search the reachable graph for fair livelocks",
+    )
+    ver.add_argument("--max-states", type=int, default=200_000)
+    ver.add_argument(
+        "--max-width", type=int, default=20_000,
+        help="per-state daemon-selection fan-out cap",
+    )
+    ver.add_argument(
+        "--log-every", type=int, default=0, metavar="STATES",
+        help="print a progress row every STATES expanded states",
+    )
+    ver.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write verify metrics as a repro.obs/v1 JSONL artifact",
+    )
 
     swp = sub.add_parser(
         "sweep", help="run every spec in a JSON file, print a result table"
@@ -384,6 +437,8 @@ def _cmd_record(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    if args.record is None:
+        return _cmd_verify_exhaustive(args)
     import json
     import pathlib
 
@@ -410,6 +465,138 @@ def _cmd_verify(args) -> int:
             print(f"MISMATCH {problem}", file=sys.stderr)
         return 1
     print("verified: the run reproduces bit-identically")
+    return 0
+
+
+def _cmd_verify_exhaustive(args) -> int:
+    """Exhaustive model checking from the command line.
+
+    Exit codes follow the record/verify convention: 0 — the instance is
+    exhaustively verified (and livelock-free when ``--liveness``), 1 — a
+    violation or fair livelock was found, 2 — the search could not be
+    completed (truncation, configuration error)."""
+    import random as _random
+
+    from repro.app.higher_layer import HigherLayer
+    from repro.core.corruption import plant_invalid_messages
+    from repro.core.ledger import DeliveryLedger
+    from repro.core.protocol import SSMFP
+    from repro.errors import ReproError
+    from repro.routing.static import StaticRouting
+    from repro.verify import LivenessChecker, ModelChecker
+
+    net = _make_network(args)
+
+    def make():
+        proto = SSMFP(
+            net, StaticRouting(net), HigherLayer(net.n), DeliveryLedger()
+        )
+        rng = _random.Random(args.seed)
+        for i in range(args.messages):
+            src = i % net.n
+            dest = rng.randrange(net.n - 1)
+            if dest >= src:
+                dest += 1
+            proto.hl.submit(src, f"m{i}", dest)
+        if args.garbage:
+            plant_invalid_messages(
+                proto, seed=args.seed, fill_fraction=args.garbage
+            )
+        return proto
+
+    on_progress = None
+    if args.log_every:
+        def on_progress(row):
+            print(
+                f"  states={row['states']} frontier={row['frontier']} "
+                f"rate={row['states_per_s']}/s dedup={row['dedup_hits']}",
+                file=sys.stderr,
+            )
+    registry = None
+    if args.jsonl:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    try:
+        result = ModelChecker(
+            make,
+            max_states=args.max_states,
+            max_selection_width=args.max_width,
+            engine=args.engine,
+            reduction=args.reduction,
+            workers=args.workers,
+            log_every=args.log_every,
+            on_progress=on_progress,
+            obs=registry,
+        ).run()
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"safety: states={result.states} transitions={result.transitions} "
+        f"terminal={result.terminal_states} violations={len(result.violations)}"
+    )
+    if result.reduction != "none":
+        print(
+            f"reduction: {result.reduction} "
+            f"(group={result.group_size}, "
+            f"skipped={result.skipped_selections}; {result.reduction_note})"
+        )
+    for violation in result.violations[:10]:
+        print(f"VIOLATION {violation}", file=sys.stderr)
+
+    live = None
+    if args.liveness:
+        try:
+            live = LivenessChecker(
+                make,
+                max_states=args.max_states,
+                max_selection_width=args.max_width,
+                engine=args.engine,
+                workers=args.workers,
+                log_every=args.log_every,
+                on_progress=on_progress,
+                obs=registry,
+            ).run()
+        except (ReproError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"liveness: states={live.states} sccs={live.sccs} "
+            f"livelocks={len(live.livelocks)}"
+        )
+        for lock in live.livelocks[:10]:
+            print(
+                f"LIVELOCK scc of {lock.states} states starving "
+                f"{lock.starved_uids}",
+                file=sys.stderr,
+            )
+
+    if args.jsonl and registry is not None:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(
+            args.jsonl,
+            registry.rows(),
+            name="verify",
+            meta={
+                "topology": args.topology,
+                "engine": args.engine,
+                "reduction": args.reduction,
+                "messages": args.messages,
+                "seed": args.seed,
+            },
+        )
+        print(f"artifact: {args.jsonl} ({count} rows)", file=sys.stderr)
+
+    if result.violations or (live is not None and live.livelocks):
+        return 1
+    if result.truncated or (live is not None and live.truncated):
+        note = result.note if result.truncated else live.note
+        print(f"error: search truncated: {note}", file=sys.stderr)
+        return 2
+    print("verified: the instance is exhaustively safe")
     return 0
 
 

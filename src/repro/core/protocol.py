@@ -130,6 +130,16 @@ class SSMFP(Protocol):
         #: classic fresh scan forever.
         self._components = ComponentDirtyCache(n)
         self.component_evals = 0
+        #: When the exhaustive verifier measures an action's *footprint*
+        #: (see ``repro/verify/reduction.py``), it points this at a set and
+        #: every notification sink records the ``(processor, destination)``
+        #: components the mutation dirties — logged *before* the
+        #: ``_all_dirty`` short-circuits, so the trace is complete even
+        #: while the component cache is wholesale-invalid.  ``None`` in the
+        #: set is the wildcard left by the non-localizable full-rescan
+        #: hatch.  ``None`` here (the default) disables recording at the
+        #: cost of one attribute test per notification.
+        self.footprint_log: Optional[Set[Optional[Tuple[ProcId, DestId]]]] = None
         #: Queues to re-sync at the next ``before_step``, per destination.
         self._resync: Dict[DestId, Set[ProcId]] = {}
         #: Cached ``next_hop`` values, sparse ``{d: {q: hop}}`` — absent =
@@ -191,9 +201,12 @@ class SSMFP(Protocol):
         (buffers are strictly per-destination — no rule reads across
         components); emission-buffer writes also change the candidate sets
         of ``p``'s neighbors."""
+        nbhd = self._nbhd[p]
+        log = self.footprint_log
+        if log is not None:
+            log.update((x, d) for x in nbhd)
         if self._all_dirty:
             return
-        nbhd = self._nbhd[p]
         self._components.mark_many(nbhd, d)
         if kind != "R":
             self._resync.setdefault(d, set()).update(nbhd)
@@ -203,9 +216,12 @@ class SSMFP(Protocol):
         ``d`` read the head; out-of-sync mutations (serve/force)
         additionally require the queue to be reconciled before the next
         guard evaluation."""
+        d, p = key
+        log = self.footprint_log
+        if log is not None:
+            log.add((p, d))
         if self._all_dirty:
             return
-        d, p = key
         self._components.mark(p, d)
         if kind == "mutate":
             self._resync.setdefault(d, set()).add(p)
@@ -213,6 +229,9 @@ class SSMFP(Protocol):
     def _on_request_change(self, p: ProcId, dest: Optional[DestId]) -> None:
         """``request_p`` was raised or lowered for destination ``dest`` —
         only R1 at the single component ``(p, dest)`` reads the handshake."""
+        log = self.footprint_log
+        if log is not None:
+            log.add((p, dest) if dest is not None else None)
         if self._all_dirty:
             return
         if dest is None:
@@ -229,10 +248,15 @@ class SSMFP(Protocol):
         reader — all in component ``d``: ``p``'s own R4 guard, the candidate
         sets of ``p``'s neighbors, and R5 at holders of copies last
         forwarded by ``p`` (always within the closed neighborhood)."""
+        log = self.footprint_log
         if p is None or d is None:
+            if log is not None:
+                log.add(None)
             self._nh_cache.clear()
             self.mark_all_dirty()
             return
+        if log is not None:
+            log.update((x, d) for x in self._nbhd[p])
         row = self._nh_cache.get(d)
         if row is not None:
             row.pop(p, None)
@@ -247,6 +271,9 @@ class SSMFP(Protocol):
         next step — the hatch for mutations outside the notifier hooks.
         The component cache is rebuilt wholesale when the simulator next
         drains :meth:`dirty_after`."""
+        log = self.footprint_log
+        if log is not None:
+            log.add(None)
         self._all_dirty = True
         self._resync.clear()
 

@@ -8,13 +8,19 @@ Propositions 5-7 are phrased in Δ, D and dist).
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.graph import Network
 from repro.types import ProcId
 
 _UNREACHED = -1
+
+#: Brute-force automorphism search is O(n!) — beyond this the search
+#: falls back to the cyclic/dihedral candidate families (which cover the
+#: symmetric topologies the zoo actually builds: rings, complete graphs).
+_MAX_BRUTE_N = 8
 
 
 def bfs_distances(net: Network, source: ProcId) -> List[int]:
@@ -89,3 +95,51 @@ def degree_histogram(net: Network) -> Dict[int, int]:
         d = net.degree(p)
         hist[d] = hist.get(d, 0) + 1
     return hist
+
+
+def _preserves_edges(net: Network, perm: Tuple[ProcId, ...]) -> bool:
+    """True iff ``perm`` maps every edge onto an edge (and hence, being a
+    bijection on a fixed edge count, is a graph automorphism)."""
+    for u, v in net.edges:
+        pu, pv = perm[u], perm[v]
+        if not net.are_neighbors(pu, pv):
+            return False
+    return True
+
+
+def automorphisms(net: Network) -> List[Tuple[ProcId, ...]]:
+    """Graph automorphisms of ``net`` as identity-indexed tuples
+    (``perm[p]`` is the image of processor ``p``).
+
+    For ``n <= 8`` the search is exact (brute force over all permutations,
+    pruned by the degree sequence).  Beyond that, exact search is
+    infeasible and the function returns the *validated subset* of the
+    cyclic/dihedral candidate families ``p -> (p + k) % n`` and
+    ``p -> (k - p) % n`` — exactly the groups of the symmetric topologies
+    the zoo builds by identity arithmetic (rings, complete graphs).  The
+    identity permutation is always included, so the result is never empty
+    and always forms a group (the symmetry-reduction layer re-validates
+    each permutation against the protocol instance anyway; see
+    ``repro/verify/reduction.py``).
+    """
+    n = net.n
+    identity = tuple(range(n))
+    if n <= 1:
+        return [identity]
+    found: List[Tuple[ProcId, ...]] = []
+    if n <= _MAX_BRUTE_N:
+        degrees = [net.degree(p) for p in range(n)]
+        for perm in itertools.permutations(range(n)):
+            if any(degrees[p] != degrees[perm[p]] for p in range(n)):
+                continue
+            if _preserves_edges(net, perm):
+                found.append(perm)
+        return found
+    candidates = {identity}
+    for k in range(n):
+        candidates.add(tuple((p + k) % n for p in range(n)))
+        candidates.add(tuple((k - p) % n for p in range(n)))
+    for perm in sorted(candidates):
+        if _preserves_edges(net, perm):
+            found.append(perm)
+    return found

@@ -38,6 +38,15 @@ Contract
   the verifier's canonical form (``_System.canon`` is a *projection* of
   the state vector, so canonicalization and restoration can never
   diverge).
+* The canon projection must be **history-free and orbit-stable**: a
+  vector canonicalizes identically whether the producing system
+  materialized (or evicted) sparse rows on the way there or never
+  allocated them (``tests/test_canon_stability.py``), and every
+  collection inside the canon is ordered by a processor-stable rule
+  (sorted, or by an order that commutes with processor permutation) so
+  the symmetry reducer's algebraic ``permute_canon`` lands in the same
+  deterministic form the search itself produces
+  (``repro/verify/reduction.py``).
 
 Implementors: :class:`~repro.core.buffers.ForwardingBuffers`,
 :class:`~repro.core.choice.FairChoiceQueue`,

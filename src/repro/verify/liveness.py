@@ -21,16 +21,20 @@ counterexample.  The paper's FIFO ``choice`` makes SSMFP free of them;
 the ``"fixed"`` ablation policy is not (the A2 starvation, now found
 exhaustively).
 
-Like the safety checker, the graph can be built by two engines: the
+Like the safety checker, the graph can be built by several engines: the
 default ``"snapshot"`` engine restores state vectors into one reused
-system (keeping the incremental guard caches engaged), while the legacy
+system (keeping the incremental guard caches engaged), the ``"parallel"``
+engine fans the per-level expansions out to forked workers while the
+parent keeps the global node-id map (:func:`repro.verify.parallel.
+run_liveness` — bit-identical graph by construction), and the legacy
 ``"deepcopy"`` engine clones the system per transition and serves as the
-differential oracle.  Both produce the bit-identical graph.
+differential oracle.  All produce the bit-identical graph.
 
-Unlike :meth:`ModelChecker.run`, a selection fan-out overflow here
-*propagates* as :class:`~repro.errors.SelectionOverflow` — a partially
-built reachable graph cannot prove starvation-freedom, so there is no
-meaningful truncated result to return.
+A selection fan-out overflow marks the result ``truncated`` with an
+explanatory :attr:`LivenessResult.note` — the same convention as
+:meth:`ModelChecker.run`.  A truncated graph cannot prove
+starvation-freedom (``ok`` stays False), but the partial result still
+reports any livelock already found instead of discarding the search.
 """
 
 from __future__ import annotations
@@ -39,7 +43,14 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.verify.modelcheck import _System, ENGINES, enumerate_selections
+from repro.errors import SelectionOverflow
+from repro.verify.modelcheck import (
+    _System,
+    ENGINES,
+    ProgressMeter,
+    default_workers,
+    enumerate_selections,
+)
 
 
 @dataclass
@@ -60,6 +71,9 @@ class LivenessResult:
     sccs: int
     truncated: bool
     livelocks: List[FairLivelock] = field(default_factory=list)
+    #: Why a truncated search stopped early (state cap, selection
+    #: fan-out) or how the engine degraded; None for clean runs.
+    note: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -77,6 +91,10 @@ class LivenessChecker:
         max_selection_width: int = 1024,
         ignore_pending: Optional[Set[int]] = None,
         engine: str = "snapshot",
+        workers: Optional[int] = None,
+        log_every: int = 0,
+        on_progress=None,
+        obs=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; want one of {ENGINES}")
@@ -87,6 +105,20 @@ class LivenessChecker:
         #: (deliberately infinite pressure sources of the test harness).
         self._ignore_pending = frozenset(ignore_pending or ())
         self._engine = engine
+        self._workers = workers
+        self._log_every = log_every
+        self._on_progress = on_progress
+        self._obs = obs
+        #: Engine-degradation note, merged into the result by run().
+        self._engine_note: Optional[str] = None
+
+    def _meter(self) -> ProgressMeter:
+        return ProgressMeter(
+            log_every=self._log_every,
+            on_progress=self._on_progress,
+            obs=self._obs,
+            engine=f"liveness-{self._engine}",
+        )
 
     def _fresh(self) -> _System:
         made = self._make_system()
@@ -113,11 +145,54 @@ class LivenessChecker:
         )
         return frozenset(system.proto.ledger.outstanding_uids()) | pending_markers
 
+    def _expand_node(self, system: _System, stack, n_procs: int, vec):
+        """Expand one configuration of the reachable graph: restore it,
+        read the starvation metadata, enumerate and execute every daemon
+        selection.  Returns ``(metadata, enabled-pid frozenset,
+        [(child_vec, child_key, executing-pid frozenset), ...])``; raises
+        :class:`SelectionOverflow` before any execution when the fan-out
+        exceeds the width cap.  Shared with the parallel workers
+        (:func:`repro.verify.parallel.run_liveness`)."""
+        system.restore(vec)
+        meta = self._node_metadata(system)
+        # Drain the dirty channel so only the components touched since
+        # the previously evaluated configuration are re-evaluated.
+        stack.dirty_after({})
+        enabled = {pid: stack.enabled_actions(pid) for pid in range(n_procs)}
+        enabled = {pid: a for pid, a in enabled.items() if a}
+        enabled_fs = frozenset(enabled)
+        children = []
+        for selection in self._selections(enabled):
+            # Back to the parent configuration; the parent's bound
+            # actions can be re-executed per selection (see modelcheck's
+            # snapshot engine).
+            system.restore(vec)
+            for pid, idx in selection.items():
+                enabled[pid][idx].execute()
+            system.step += 1
+            system.advance_env()
+            child_vec = system.snapshot()
+            children.append(
+                (child_vec, system.canon(child_vec), frozenset(selection))
+            )
+        return meta, enabled_fs, children
+
     def _explore(self):
-        """Build the reachable graph.  Returns (node data, edges,
-        truncated)."""
+        """Build the reachable graph.  Returns (metadata, enabled pids,
+        edges, truncated, note)."""
         if self._engine == "deepcopy":
             return self._explore_deepcopy()
+        if self._engine == "parallel":
+            from repro.verify import parallel as _parallel
+
+            workers = self._workers or default_workers()
+            if workers >= 2 and _parallel.fork_available():
+                return _parallel.run_liveness(self, workers)
+            self._engine_note = (
+                f"parallel engine degraded to in-process search "
+                f"(workers={workers}, fork "
+                f"{'available' if _parallel.fork_available() else 'unavailable'})"
+            )
         return self._explore_snapshot()
 
     def _explore_snapshot(self):
@@ -134,48 +209,44 @@ class LivenessChecker:
         # Edges annotated with the executing pid set.
         edges: List[List[Tuple[int, FrozenSet[int]]]] = []
         truncated = False
+        note: Optional[str] = None
+        meter = self._meter()
 
         index = 0
         while index < len(vecs):
             if index >= self._max_states:
                 truncated = True
+                note = f"state cap {self._max_states} reached"
                 break
             vec = vecs[index]
-            system.restore(vec)
-            outstanding.append(self._node_metadata(system))
-            # Drain the dirty channel so only the components touched since
-            # the previously evaluated configuration are re-evaluated.
-            stack.dirty_after({})
-            enabled = {pid: stack.enabled_actions(pid) for pid in range(n_procs)}
-            enabled = {pid: a for pid, a in enabled.items() if a}
-            enabled_pids.append(frozenset(enabled))
+            try:
+                meta, enabled_fs, children = self._expand_node(
+                    system, stack, n_procs, vec
+                )
+            except SelectionOverflow as exc:
+                truncated = True
+                note = f"node {index}: {exc}"
+                break
+            outstanding.append(meta)
+            enabled_pids.append(enabled_fs)
             edges.append([])
-            for selection in self._selections(enabled):
-                # Back to the parent configuration; the parent's bound
-                # actions can be re-executed per selection (see
-                # modelcheck's snapshot engine).
-                system.restore(vec)
-                for pid, idx in selection.items():
-                    enabled[pid][idx].execute()
-                system.step += 1
-                system.advance_env()
-                child_vec = system.snapshot()
-                key = system.canon(child_vec)
-                if key in keys:
-                    target = keys[key]
-                else:
+            for child_vec, key, pids in children:
+                target = keys.get(key)
+                if target is None:
                     target = len(vecs)
                     keys[key] = target
                     vecs.append(child_vec)
-                edges[index].append((target, frozenset(selection)))
+                edges[index].append((target, pids))
             vecs[index] = None  # free memory; only metadata needed now
             index += 1
+            meter.tick(index, len(vecs) - index, 0)
         # Nodes appended beyond the cap have no metadata; trim edges to
         # explored nodes only.
         explored = len(edges)
         for lst in edges:
             lst[:] = [(t, pids) for t, pids in lst if t < explored]
-        return outstanding, enabled_pids, edges, truncated
+        meter.finish(explored, sum(len(e) for e in edges), 0)
+        return outstanding, enabled_pids, edges, truncated, note
 
     def _explore_deepcopy(self):
         root = self._fresh()
@@ -186,22 +257,30 @@ class LivenessChecker:
         enabled_pids: List[FrozenSet[int]] = []
         edges: List[List[Tuple[int, FrozenSet[int]]]] = []
         truncated = False
+        note: Optional[str] = None
 
         index = 0
         while index < len(systems):
             if index >= self._max_states:
                 truncated = True
+                note = f"state cap {self._max_states} reached"
                 break
             system = systems[index]
-            outstanding.append(self._node_metadata(system))
             enabled = {
                 pid: system.stack().enabled_actions(pid)
                 for pid in range(system.proto.net.n)
             }
             enabled = {pid: a for pid, a in enabled.items() if a}
+            try:
+                selections = self._selections(enabled)
+            except SelectionOverflow as exc:
+                truncated = True
+                note = f"node {index}: {exc}"
+                break
+            outstanding.append(self._node_metadata(system))
             enabled_pids.append(frozenset(enabled))
             edges.append([])
-            for selection in self._selections(enabled):
+            for selection in selections:
                 child = copy.deepcopy(system)
                 child_enabled = {
                     pid: child.stack().enabled_actions(pid) for pid in selection
@@ -223,7 +302,7 @@ class LivenessChecker:
         explored = len(edges)
         for lst in edges:
             lst[:] = [(t, pids) for t, pids in lst if t < explored]
-        return outstanding, enabled_pids, edges, truncated
+        return outstanding, enabled_pids, edges, truncated, note
 
     # -- SCC + fairness filtering --------------------------------------------------
 
@@ -279,8 +358,12 @@ class LivenessChecker:
         return result
 
     def run(self) -> LivenessResult:
-        """Explore and report fair livelocks."""
-        outstanding, enabled_pids, edges, truncated = self._explore()
+        """Explore and report fair livelocks.  Never raises on fan-out
+        overflow: the result comes back ``truncated`` with a ``note``."""
+        self._engine_note = None
+        outstanding, enabled_pids, edges, truncated, note = self._explore()
+        if self._engine_note:
+            note = f"{note}; {self._engine_note}" if note else self._engine_note
         n = len(edges)
         sccs = self._sccs(n, edges)
         livelocks: List[FairLivelock] = []
@@ -322,4 +405,5 @@ class LivenessChecker:
             sccs=len(sccs),
             truncated=truncated,
             livelocks=livelocks,
+            note=note,
         )

@@ -29,29 +29,47 @@ touched since the previously evaluated configuration.  The canonical form
 is a projection of the same state vector, so canonicalization and
 restoration can never diverge.
 
+The ``"parallel"`` engine (:mod:`repro.verify.parallel`) shards the BFS
+frontier across forked worker processes by canon hash, each worker
+holding its shard of the seen-set; cross-shard successors are exchanged
+in batched per-level rounds and the parent aggregates counts and
+violation witnesses deterministically.
+
+Both snapshot-based engines accept the state-space *reductions* of
+:mod:`repro.verify.reduction` — canonical-form symmetry quotienting and
+partial-order reduction of decomposable daemon selections.
+
 The legacy ``"deepcopy"`` engine clones the whole system per transition
-with :func:`copy.deepcopy`.  It is kept as the differential oracle: the
-equivalence suite and the X-SNAP benchmark pin that both engines visit the
-bit-identical state set, transition count and violations (see
-``docs/verify.md``).
+with :func:`copy.deepcopy`.  It is kept as the unreduced differential
+oracle: the equivalence suite and the X-SNAP benchmark pin that both
+serial engines visit the bit-identical state set, transition count and
+violations, and the reduction oracle in ``tests/test_verify_reduction.py``
+pins that every reduced/parallel configuration reaches the same canon set
+and verdict (see ``docs/verify.md``).
 """
 
 from __future__ import annotations
 
 import copy
 import itertools
+import os
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.invariants import InvariantChecker
 from repro.core.protocol import SSMFP
 from repro.errors import ReproError, SelectionOverflow
 from repro.statemodel.composition import PriorityStack
 from repro.statemodel.snapshot import StateVector
+from repro.verify.reduction import IndependenceOracle, validate_symmetry
 
 #: The exploration engines accepted by the verifiers.
-ENGINES = ("snapshot", "deepcopy")
+ENGINES = ("snapshot", "deepcopy", "parallel")
+
+#: The state-space reductions accepted by the snapshot-based engines.
+REDUCTIONS = ("none", "por", "symmetry", "full")
 
 
 @dataclass
@@ -69,11 +87,75 @@ class ModelCheckResult:
     #: Why a truncated search stopped early (state cap, selection fan-out);
     #: None for complete searches.
     note: Optional[str] = None
+    #: Children that deduplicated against an already-seen canon.
+    dedup_hits: int = 0
+    #: Daemon selections pruned by partial-order reduction.
+    skipped_selections: int = 0
+    #: The reduction configuration the run used.
+    reduction: str = "none"
+    #: Size of the validated symmetry group (1 == identity only).
+    group_size: int = 1
+    #: How the reductions were applied or why they were disabled.
+    reduction_note: Optional[str] = None
+    #: The reachable canon set (orbit representatives under symmetry);
+    #: populated only when ``collect_canons=True``.
+    canons: Optional[FrozenSet] = None
 
     @property
     def ok(self) -> bool:
         """True iff no violation was found and the search completed."""
         return not self.violations and not self.truncated
+
+
+class ProgressMeter:
+    """Rate-limited progress reporting for long exhaustive runs.
+
+    Emits a row ``{states, frontier, states_per_s, dedup_hits,
+    elapsed_s}`` to the ``on_progress`` callback every ``log_every``
+    expanded states, mirrors the rate into a ``repro.obs`` registry
+    (``verify_states_per_s`` histogram), and exports the final
+    ``verify_states_total`` / ``verify_transitions_total`` counters and
+    the ``verify_dedup_ratio`` gauge on :meth:`finish`."""
+
+    def __init__(self, log_every=0, on_progress=None, obs=None,
+                 engine="snapshot"):
+        self._log_every = max(0, int(log_every or 0))
+        self._cb = on_progress
+        self._obs = obs
+        self._engine = engine
+        self._t0 = time.perf_counter()
+        self._next = self._log_every
+
+    def tick(self, states: int, frontier: int, dedup_hits: int) -> None:
+        if not self._log_every or states < self._next:
+            return
+        while self._next <= states:
+            self._next += self._log_every
+        elapsed = max(time.perf_counter() - self._t0, 1e-9)
+        row = {
+            "states": states,
+            "frontier": frontier,
+            "states_per_s": round(states / elapsed, 1),
+            "dedup_hits": dedup_hits,
+            "elapsed_s": round(elapsed, 3),
+        }
+        if self._cb is not None:
+            self._cb(row)
+        if self._obs is not None:
+            self._obs.observe(
+                "verify_states_per_s", row["states_per_s"], engine=self._engine
+            )
+
+    def finish(self, states: int, transitions: int, dedup_hits: int) -> None:
+        if self._obs is None:
+            return
+        self._obs.counter("verify_states_total", engine=self._engine).inc(states)
+        self._obs.counter(
+            "verify_transitions_total", engine=self._engine
+        ).inc(transitions)
+        self._obs.gauge("verify_dedup_ratio", engine=self._engine).set(
+            round(dedup_hits / max(transitions, 1), 6)
+        )
 
 
 def enumerate_selections(
@@ -140,6 +222,12 @@ class _System:
         behavior distinguishably: the step counter, message birth stamps,
         the uid counters (determined by the generation count), the
         delivery/violation logs and the ledger's per-record details.
+
+        Every processor-indexed field is stored in a deterministic,
+        identity-sorted order (buffers by ``(d, p, kind)``, queues and
+        outboxes ascending) — the *orbit-stable* ordering contract that
+        lets :mod:`repro.verify.reduction` permute a canon and re-sort it
+        into the same normal form (see ``statemodel/snapshot.py``).
         """
         if vec is None:
             vec = self.snapshot()
@@ -164,6 +252,118 @@ class _System:
         return (buffers, queues_vec, app, extras, accounts)
 
 
+def expand_state(system, stack, n, vec, depth, max_width, oracle, reducer, result):
+    """Expand one configuration: restore it, run the invariant and
+    terminal checks, enumerate the daemon selections (POR-filtered when
+    ``oracle`` is given), execute each and canonicalize the children.
+
+    Shared by the serial snapshot engine and the parallel workers
+    (:mod:`repro.verify.parallel`) so the two expansions cannot drift.
+    Updates ``result``'s transitions / terminal / violations / skipped
+    counters; ``states`` and ``dedup_hits`` stay with the caller, which
+    owns the seen-set.  Returns the children as ``[(child_vec, key,
+    depth + 1), ...]`` — possibly with repeated keys; dedup is the
+    caller's job — or ``None`` when a :class:`SelectionOverflow` truncated
+    the search (``result.note`` set).
+
+    POR runs in two passes over one selection list: singletons come first
+    in :func:`enumerate_selections` order and their executions are
+    measured through ``proto.footprint_log`` (the PR 3 notifier sinks
+    record the dirtied ``(processor, destination)`` components); composite
+    selections then consult those measured trails in
+    :meth:`IndependenceOracle.admissible`, which sharpens the static
+    neighborhood test to exact component interference.  Instances without
+    the incremental engine (non-notifying routing providers) skip the
+    measurement — the sinks never fire there, so an empty trail would be
+    a false proof of independence — and fall back to the static rules.
+    """
+    system.restore(vec)
+    try:
+        InvariantChecker(system.proto).check()
+    except ReproError as exc:
+        result.violations.append(f"depth {depth}: {exc}")
+        return []
+
+    # Drain the dirty channel so the component caches stay engaged: only
+    # components touched since the previously evaluated configuration (by
+    # execution, environment moves, or restore diffs) are re-evaluated
+    # inside enabled_actions.
+    stack.dirty_after({})
+    enabled = {pid: stack.enabled_actions(pid) for pid in range(n)}
+    enabled = {pid: acts for pid, acts in enabled.items() if acts}
+    if not enabled:
+        result.terminal_states += 1
+        ledger = system.proto.ledger
+        if not ledger.all_valid_delivered():
+            result.violations.append(
+                f"depth {depth}: terminal configuration with "
+                f"undelivered uids {sorted(ledger.outstanding_uids())}"
+            )
+        if system.proto.hl.total_pending():
+            result.violations.append(
+                f"depth {depth}: terminal configuration with "
+                f"pending submissions"
+            )
+        return []
+
+    try:
+        selections = enumerate_selections(enabled, max_width)
+    except SelectionOverflow as exc:
+        result.truncated = True
+        result.note = f"depth {depth}: {exc}"
+        return None
+
+    proto = system.proto
+    measure = oracle is not None and getattr(proto, "_incremental", False)
+    footprints = {} if measure else None
+    children = []
+    for selection in selections:
+        if oracle is not None and len(selection) > 1:
+            if not oracle.admissible(selection, enabled, footprints):
+                result.skipped_selections += 1
+                continue
+        # Back to the parent configuration: the enabled actions were bound
+        # against exactly this state, so they can be re-executed per
+        # selection without re-deriving them.
+        system.restore(vec)
+        log = None
+        if measure and len(selection) == 1:
+            log = set()
+            proto.footprint_log = log
+        try:
+            for pid, action_index in selection.items():
+                enabled[pid][action_index].execute()
+        except ReproError as exc:
+            if log is not None:
+                proto.footprint_log = None
+                ((pid, idx),) = selection.items()
+                footprints[(pid, idx)] = None  # unmeasurable: wildcard
+            result.violations.append(f"depth {depth + 1}: {exc}")
+            continue
+        result.transitions += 1
+        system.step += 1
+        system.advance_env()
+        if log is not None:
+            # The trail spans execution *and* the following environment
+            # phase — request re-raises and queue re-syncs are part of the
+            # action's observable footprint.
+            proto.footprint_log = None
+            ((pid, idx),) = selection.items()
+            footprints[(pid, idx)] = None if None in log else frozenset(log)
+        child_vec = system.snapshot()
+        key = system.canon(child_vec)
+        if reducer is not None:
+            key = reducer.representative(key)
+        children.append((child_vec, key, depth + 1))
+    return children
+
+
+def default_workers() -> int:
+    """Worker-count default for the parallel engine: the machine's CPUs,
+    capped (frontier exchange saturates quickly past 8 shards)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
 class ModelChecker:
     """Breadth-first exhaustive exploration.
 
@@ -183,8 +383,31 @@ class ModelChecker:
         raises.
     engine:
         ``"snapshot"`` (default) explores one reused system through the
-        snapshot/restore layer; ``"deepcopy"`` clones the system per
-        transition (the legacy engine, kept as the differential oracle).
+        snapshot/restore layer; ``"parallel"`` shards the frontier across
+        forked worker processes; ``"deepcopy"`` clones the system per
+        transition (the legacy engine, kept as the unreduced differential
+        oracle — it rejects reductions).
+    reduction:
+        ``"none"`` (default), ``"por"`` (partial-order reduction of
+        decomposable selections — preserves the reachable state set,
+        prunes transitions), ``"symmetry"`` (orbit quotient under the
+        validated processor-permutation group) or ``"full"`` (both).
+        Reductions that do not apply to the instance are disabled with an
+        explanatory :attr:`ModelCheckResult.reduction_note`, never
+        silently wrong.
+    workers:
+        Worker processes for the parallel engine (default:
+        :func:`default_workers`).  With fewer than two effective workers
+        the parallel engine degrades to the in-process snapshot search.
+    log_every / on_progress / obs:
+        Progress reporting: every ``log_every`` expanded states a row is
+        passed to ``on_progress`` and mirrored into the ``obs`` metrics
+        registry; final totals are exported as ``verify_states_total`` /
+        ``verify_dedup_ratio`` (see :class:`ProgressMeter`).
+    collect_canons:
+        Populate :attr:`ModelCheckResult.canons` with the reachable canon
+        set (orbit representatives under symmetry) — the differential
+        oracle's raw material.
     """
 
     def __init__(
@@ -193,13 +416,34 @@ class ModelChecker:
         max_states: int = 50_000,
         max_selection_width: int = 512,
         engine: str = "snapshot",
+        reduction: str = "none",
+        workers: Optional[int] = None,
+        log_every: int = 0,
+        on_progress=None,
+        obs=None,
+        collect_canons: bool = False,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; want one of {ENGINES}")
+        if reduction not in REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {reduction!r}; want one of {REDUCTIONS}"
+            )
+        if engine == "deepcopy" and reduction != "none":
+            raise ValueError(
+                "the deepcopy engine is the unreduced differential oracle; "
+                "reductions apply to the snapshot/parallel engines only"
+            )
         self._make_system = make_system
         self._max_states = max_states
         self._max_width = max_selection_width
         self._engine = engine
+        self._reduction = reduction
+        self._workers = workers
+        self._log_every = log_every
+        self._on_progress = on_progress
+        self._obs = obs
+        self._collect_canons = collect_canons
 
     def _fresh(self) -> _System:
         made = self._make_system()
@@ -211,16 +455,66 @@ class ModelChecker:
     def _selections(self, enabled: Dict[int, List]) -> List[Dict[int, int]]:
         return enumerate_selections(enabled, self._max_width)
 
+    def _setup_reduction(self, system: _System, result: ModelCheckResult):
+        """Validate the requested reductions against the instance (the
+        system must be in its root configuration).  Returns ``(symmetry
+        reducer or None, independence oracle or None)`` and records the
+        group size / fallback notes on the result."""
+        reducer = oracle = None
+        notes: List[str] = []
+        if self._reduction in ("symmetry", "full"):
+            reducer, note = validate_symmetry(system.proto, system.canon())
+            notes.append(note)
+            if reducer is not None:
+                result.group_size = reducer.group_size
+        if self._reduction in ("por", "full"):
+            if getattr(system.proto, "_sync_every_step", False):
+                notes.append(
+                    "por off: aged_fair per-step reconciliation is not "
+                    "idempotent across decomposed selections"
+                )
+            else:
+                oracle = IndependenceOracle(system.proto)
+                notes.append("por on")
+        if notes:
+            result.reduction_note = "; ".join(notes)
+        return reducer, oracle
+
+    def _meter(self) -> ProgressMeter:
+        return ProgressMeter(
+            log_every=self._log_every,
+            on_progress=self._on_progress,
+            obs=self._obs,
+            engine=self._engine,
+        )
+
     def run(self) -> ModelCheckResult:
         """Explore exhaustively; never raises on protocol violations or
         fan-out overflow — violations are collected into the result and an
         overflow truncates it (see :attr:`ModelCheckResult.note`)."""
         result = ModelCheckResult(
             states=0, transitions=0, terminal_states=0,
-            max_frontier=0, truncated=False,
+            max_frontier=0, truncated=False, reduction=self._reduction,
         )
         if self._engine == "deepcopy":
             return self._run_deepcopy(result)
+        if self._engine == "parallel":
+            from repro.verify import parallel as _parallel
+
+            workers = self._workers or default_workers()
+            if workers >= 2 and _parallel.fork_available():
+                return _parallel.run_safety(self, result, workers)
+            fallback = (
+                f"parallel engine degraded to in-process search "
+                f"(workers={workers}, fork "
+                f"{'available' if _parallel.fork_available() else 'unavailable'})"
+            )
+            out = self._run_snapshot(result)
+            out.reduction_note = (
+                f"{out.reduction_note}; {fallback}"
+                if out.reduction_note else fallback
+            )
+            return out
         return self._run_snapshot(result)
 
     # -- snapshot engine -----------------------------------------------------
@@ -228,10 +522,15 @@ class ModelChecker:
     def _run_snapshot(self, result: ModelCheckResult) -> ModelCheckResult:
         system = self._fresh()
         system.advance_env()
+        reducer, oracle = self._setup_reduction(system, result)
+        meter = self._meter()
         stack = system.stack()
         n = system.proto.net.n
         root_vec = system.snapshot()
-        seen = {system.canon(root_vec)}
+        root_key = system.canon(root_vec)
+        if reducer is not None:
+            root_key = reducer.representative(root_key)
+        seen = {root_key}
         frontier: deque = deque([(root_vec, 0)])
 
         while frontier:
@@ -241,63 +540,23 @@ class ModelChecker:
                 result.note = f"state cap {self._max_states} reached"
                 break
             vec, depth = frontier.popleft()
-            system.restore(vec)
             result.states += 1
-
-            try:
-                InvariantChecker(system.proto).check()
-            except ReproError as exc:
-                result.violations.append(f"depth {depth}: {exc}")
-                continue
-
-            # Drain the dirty channel so the component caches stay engaged:
-            # only components touched since the previously evaluated
-            # configuration (by execution, environment moves, or restore
-            # diffs) are re-evaluated inside enabled_actions.
-            stack.dirty_after({})
-            enabled = {pid: stack.enabled_actions(pid) for pid in range(n)}
-            enabled = {pid: acts for pid, acts in enabled.items() if acts}
-            if not enabled:
-                result.terminal_states += 1
-                ledger = system.proto.ledger
-                if not ledger.all_valid_delivered():
-                    result.violations.append(
-                        f"depth {depth}: terminal configuration with "
-                        f"undelivered uids {sorted(ledger.outstanding_uids())}"
-                    )
-                if system.proto.hl.total_pending():
-                    result.violations.append(
-                        f"depth {depth}: terminal configuration with "
-                        f"pending submissions"
-                    )
-                continue
-
-            try:
-                selections = self._selections(enabled)
-            except SelectionOverflow as exc:
-                result.truncated = True
-                result.note = f"depth {depth}: {exc}"
+            meter.tick(result.states, len(frontier), result.dedup_hits)
+            children = expand_state(
+                system, stack, n, vec, depth,
+                self._max_width, oracle, reducer, result,
+            )
+            if children is None:
                 break
-
-            for selection in selections:
-                # Back to the parent configuration: the enabled actions
-                # were bound against exactly this state, so they can be
-                # re-executed per selection without re-deriving them.
-                system.restore(vec)
-                try:
-                    for pid, action_index in selection.items():
-                        enabled[pid][action_index].execute()
-                except ReproError as exc:
-                    result.violations.append(f"depth {depth + 1}: {exc}")
-                    continue
-                result.transitions += 1
-                system.step += 1
-                system.advance_env()
-                child_vec = system.snapshot()
-                key = system.canon(child_vec)
-                if key not in seen:
+            for child_vec, key, child_depth in children:
+                if key in seen:
+                    result.dedup_hits += 1
+                else:
                     seen.add(key)
-                    frontier.append((child_vec, depth + 1))
+                    frontier.append((child_vec, child_depth))
+        if self._collect_canons:
+            result.canons = frozenset(seen)
+        meter.finish(result.states, result.transitions, result.dedup_hits)
         return result
 
     # -- legacy deepcopy engine ----------------------------------------------
@@ -366,7 +625,11 @@ class ModelChecker:
                 child.step += 1
                 child.advance_env()
                 key = child.canon()
-                if key not in seen:
+                if key in seen:
+                    result.dedup_hits += 1
+                else:
                     seen.add(key)
                     frontier.append((child, depth + 1))
+        if self._collect_canons:
+            result.canons = frozenset(seen)
         return result

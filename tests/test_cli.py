@@ -72,6 +72,65 @@ class TestSimulate:
         ) == 0
 
 
+class TestVerifyExhaustive:
+    BASE = ["verify", "--topology", "line", "--n", "3", "--messages", "2"]
+
+    def test_clean_instance_verifies(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "safety: states=" in out
+        assert "verified: the instance is exhaustively safe" in out
+
+    def test_reduction_line_reports_group_and_skips(self, capsys):
+        assert main(self.BASE + ["--reduction", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction: full" in out
+        assert "group=" in out
+
+    def test_liveness_flag_reports_sccs(self, capsys):
+        assert main(self.BASE + ["--liveness"]) == 0
+        out = capsys.readouterr().out
+        assert "liveness: states=" in out
+        assert "livelocks=0" in out
+
+    def test_truncated_search_exits_2(self, capsys):
+        assert main(self.BASE + ["--max-states", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "truncated" in err
+
+    def test_rejected_configuration_exits_2(self, capsys):
+        code = main(self.BASE + ["--engine", "deepcopy", "--reduction", "por"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_log_every_streams_progress(self, capsys):
+        assert main(self.BASE + ["--log-every", "20"]) == 0
+        err = capsys.readouterr().err
+        assert "states=" in err and "rate=" in err
+
+    def test_parallel_engine_jsonl_artifact(self, tmp_path, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("parallel engine requires fork")
+        from repro.obs import read_artifact
+
+        path = tmp_path / "verify.jsonl"
+        code = main(
+            self.BASE
+            + ["--engine", "parallel", "--workers", "2",
+               "--jsonl", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        art = read_artifact(path)
+        assert art.name == "verify"
+        assert art.meta["engine"] == "parallel"
+        metrics = {r["metric"] for r in art.rows_of_kind("metric")}
+        assert "verify_states_total" in metrics
+        assert "verify_dedup_ratio" in metrics
+
+
 class TestObservability:
     def _simulate_artifact(self, path, capsys):
         code = main(
