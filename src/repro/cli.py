@@ -111,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ver.add_argument("--seed", type=int, default=0)
     ver.add_argument(
+        "--protocol", default="ssmfp", metavar="NAME",
+        help="forwarding protocol to model-check (registry name; "
+             "see repro.core.registry)",
+    )
+    ver.add_argument(
         "--engine", default="snapshot",
         choices=["snapshot", "deepcopy", "parallel"],
     )
@@ -151,6 +156,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument("--max-steps", type=int, default=500_000)
     swp.add_argument(
+        "--protocol", default="ssmfp", metavar="NAME",
+        help="default forwarding protocol for specs that don't name one",
+    )
+    swp.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="fan the specs out over N worker processes (default: serial); "
              "rows are identical to a serial sweep",
@@ -188,6 +197,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workload", default="uniform", choices=["uniform", "hotspot"]
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--protocol", default="ssmfp", metavar="NAME",
+        help="forwarding protocol the cluster runs (registry name; "
+             "ssmfp2 caps lanes at window 1 — stop-and-wait hops)",
+    )
     run.add_argument("--transport", default="local", choices=["local", "tcp"])
     run.add_argument(
         "--procs", type=int, default=1,
@@ -241,6 +255,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workload", default="uniform", choices=["uniform", "hotspot"]
     )
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--protocol", default="ssmfp", metavar="NAME",
+        help="forwarding protocol to simulate (registry name)",
+    )
     simp.add_argument(
         "--corrupt", default="none", choices=["none", "random", "worst"],
         help="initial routing-table corruption",
@@ -297,6 +315,14 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.core.registry import resolve
+    from repro.errors import ConfigurationError
+
+    try:
+        resolve(args.protocol)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     net = _make_network(args)
     if args.workload == "uniform":
         workload = uniform_workload(net.n, args.messages, seed=args.seed)
@@ -323,6 +349,7 @@ def _cmd_simulate(args) -> int:
         ),
         daemon=_DAEMONS[args.daemon](args.seed),
         seed=args.seed,
+        protocol=args.protocol,
         obs=registry,
         tracer=tracer,
     )
@@ -357,6 +384,7 @@ def _cmd_simulate(args) -> int:
             args.jsonl, rows, name="simulate",
             meta={
                 "topology": args.topology,
+                "protocol": args.protocol,
                 "seed": args.seed,
                 "messages": args.messages,
             },
@@ -480,15 +508,20 @@ def _cmd_verify_exhaustive(args) -> int:
     from repro.app.higher_layer import HigherLayer
     from repro.core.corruption import plant_invalid_messages
     from repro.core.ledger import DeliveryLedger
-    from repro.core.protocol import SSMFP
-    from repro.errors import ReproError
+    from repro.core.registry import resolve
+    from repro.errors import ConfigurationError, ReproError
     from repro.routing.static import StaticRouting
     from repro.verify import LivenessChecker, ModelChecker
 
+    try:
+        proto_cls = resolve(args.protocol)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     net = _make_network(args)
 
     def make():
-        proto = SSMFP(
+        proto = proto_cls(
             net, StaticRouting(net), HigherLayer(net.n), DeliveryLedger()
         )
         rng = _random.Random(args.seed)
@@ -582,6 +615,7 @@ def _cmd_verify_exhaustive(args) -> int:
             name="verify",
             meta={
                 "topology": args.topology,
+                "protocol": proto_cls.name,
                 "engine": args.engine,
                 "reduction": args.reduction,
                 "messages": args.messages,
@@ -604,16 +638,24 @@ def _cmd_sweep(args) -> int:
     import json
     import pathlib
 
+    from repro.core.registry import resolve
+    from repro.errors import ConfigurationError
     from repro.sim.campaign import run_sweep
     from repro.sim.recording import sweep_outcome_row
     from repro.sim.reporting import format_table
 
+    try:
+        resolve(args.protocol)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     data = json.loads(pathlib.Path(args.specs).read_text())
     specs = data["specs"] if isinstance(data, dict) else data
     labels, configs = [], []
     for i, spec in enumerate(specs):
         spec = dict(spec)
         labels.append(spec.pop("label", f"spec[{i}]"))
+        spec.setdefault("protocol", args.protocol)
         configs.append({"spec": spec, "max_steps": args.max_steps})
     results = run_sweep(configs, sweep_outcome_row, workers=args.workers)
     rows = []
@@ -664,6 +706,7 @@ def _cmd_runtime(args) -> int:
         topology={"name": args.topology, "kwargs": kwargs},
         messages=args.messages,
         seed=args.seed,
+        protocol=args.protocol,
         transport=args.transport,
         procs=args.procs,
         workload=args.workload,
@@ -689,6 +732,7 @@ def _cmd_runtime(args) -> int:
             name="runtime",
             meta={
                 "topology": args.topology,
+                "protocol": args.protocol,
                 "transport": args.transport,
                 "procs": args.procs,
                 "messages": args.messages,

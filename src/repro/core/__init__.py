@@ -1,7 +1,12 @@
-"""The paper's primary contribution: the SSMFP protocol.
+"""The paper's primary contribution: the forwarding-protocol family.
 
+* :class:`~repro.core.family.ForwardingProtocol` — the family contract
+  every substrate (engine, verifiers, obs, runtime, CLI) consumes;
 * :class:`SSMFP` — the six-rule snap-stabilizing message forwarding
   protocol (Algorithm 1) as a state-model :class:`~repro.statemodel.Protocol`;
+* :class:`SSMFP2` — the journal's second protocol (fused single-buffer
+  scheme, arXiv:0905.2540) on the same substrates;
+* :mod:`~repro.core.registry` — name → protocol class resolution;
 * :mod:`~repro.core.caterpillar` — Definition 3's caterpillar taxonomy;
 * :mod:`~repro.core.invariants` — machine-checked safety (Lemmas 4 & 5);
 * :class:`~repro.core.ledger.DeliveryLedger` — exactly-once accounting;
@@ -18,12 +23,20 @@ from repro.core.corruption import (
     plant_invalid_messages,
     scramble_queues,
 )
+from repro.core.family import ForwardingProtocol
 from repro.core.invariants import InvariantChecker
 from repro.core.ledger import DeliveryLedger
 from repro.core.protocol import SSMFP
+from repro.core.protocol2 import SSMFP2
+from repro.core.registry import PROTOCOLS, available, resolve
 
 __all__ = [
+    "ForwardingProtocol",
     "SSMFP",
+    "SSMFP2",
+    "PROTOCOLS",
+    "available",
+    "resolve",
     "ForwardingBuffers",
     "FairChoiceQueue",
     "DeliveryLedger",

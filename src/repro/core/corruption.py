@@ -5,6 +5,12 @@ buffer may hold garbage ("invalid messages"), any choice queue may hold any
 requester order.  These helpers build such configurations deterministically
 from seeds, keeping values domain-valid (colors in ``{0..Δ}``, last-hop in
 ``N_p ∪ {p}``, dest tags matching components) as usual in the state model.
+
+They work for every member of the protocol family: garbage is planted
+only into the planes the protocol's rules can drain
+(``proto.buffer_kinds`` — both for SSMFP, the fused R plane for SSMFP2;
+an invalid message in a plane no rule reads would sit there forever and
+break quiescence).
 """
 
 from __future__ import annotations
@@ -12,13 +18,13 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional
 
-from repro.core.protocol import SSMFP
+from repro.core.family import ForwardingProtocol
 from repro.statemodel.message import Message
 from repro.types import Color, DestId, ProcId
 
 
 def plant_invalid_message(
-    proto: SSMFP,
+    proto: ForwardingProtocol,
     d: DestId,
     p: ProcId,
     kind: str,
@@ -33,6 +39,11 @@ def plant_invalid_message(
     """
     if kind not in ("R", "E"):
         raise ValueError(f"kind must be 'R' or 'E', got {kind!r}")
+    if kind not in proto.buffer_kinds:
+        raise ValueError(
+            f"{proto.name} does not use the {kind!r} plane "
+            f"(buffer_kinds={proto.buffer_kinds})"
+        )
     if last is None:
         last = p
     if last != p and last not in proto.net.neighbors(p):
@@ -48,7 +59,7 @@ def plant_invalid_message(
 
 
 def plant_invalid_messages(
-    proto: SSMFP,
+    proto: ForwardingProtocol,
     seed: int,
     fill_fraction: float = 0.3,
     destinations: Optional[Iterable[DestId]] = None,
@@ -67,7 +78,7 @@ def plant_invalid_messages(
     planted = 0
     for d in dests:
         for p in net.processors():
-            for kind in ("R", "E"):
+            for kind in proto.buffer_kinds:
                 if rng.random() >= fill_fraction:
                     continue
                 payload = f"g{rng.randrange(3)}"
@@ -78,16 +89,17 @@ def plant_invalid_messages(
     return planted
 
 
-def fill_all_buffers(proto: SSMFP, d: DestId, seed: int) -> int:
-    """Fill *all 2n buffers* of destination ``d``'s component with distinct
+def fill_all_buffers(proto: ForwardingProtocol, d: DestId, seed: int) -> int:
+    """Fill *all buffers* of destination ``d``'s component with distinct
     invalid messages — the Proposition-4 worst case (at most 2n invalid
-    messages can be delivered to ``d``).  Returns the count (== 2n).
+    messages can be delivered to ``d``; n for the fused single-buffer
+    scheme).  Returns the count (``len(buffer_kinds) * n``).
     """
     rng = random.Random(seed)
     net = proto.net
     planted = 0
     for p in net.processors():
-        for kind in ("R", "E"):
+        for kind in proto.buffer_kinds:
             last = rng.choice([p] + list(net.neighbors(p)))
             color = rng.randrange(proto.delta + 1)
             plant_invalid_message(
@@ -97,7 +109,7 @@ def fill_all_buffers(proto: SSMFP, d: DestId, seed: int) -> int:
     return planted
 
 
-def scramble_queues(proto: SSMFP, seed: int) -> None:
+def scramble_queues(proto: ForwardingProtocol, seed: int) -> None:
     """Overwrite every choice queue with a random requester order (any
     subset of ``N_p ∪ {p}``, shuffled) — arbitrary initial queue state."""
     rng = random.Random(seed)

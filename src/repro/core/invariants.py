@@ -1,7 +1,9 @@
 """Machine-checked safety invariants (Lemmas 4 & 5 as runtime checks).
 
-:class:`InvariantChecker` scans an :class:`~repro.core.protocol.SSMFP`
-instance and raises :class:`~repro.errors.InvariantViolation` when a
+:class:`InvariantChecker` scans a
+:class:`~repro.core.family.ForwardingProtocol` instance (any family
+member — the checks read only the shared buffer/ledger substrate) and
+raises :class:`~repro.errors.InvariantViolation` when a
 configuration the proofs forbid is reached.  Installed as a per-step strict
 hook in the core tests, it turns every simulated execution into thousands of
 checked theorems.
@@ -29,15 +31,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from repro.core.protocol import SSMFP
+from repro.core.family import ForwardingProtocol
 from repro.errors import InvariantViolation
 from repro.types import ProcId
 
 
 class InvariantChecker:
-    """Scans an SSMFP instance for violations of the paper's lemmas."""
+    """Scans a forwarding-protocol instance for violations of the paper's
+    lemmas."""
 
-    def __init__(self, proto: SSMFP) -> None:
+    def __init__(self, proto: ForwardingProtocol) -> None:
         self._proto = proto
 
     def check(self) -> None:

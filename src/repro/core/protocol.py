@@ -11,31 +11,13 @@ and talks to the application through a :class:`~repro.app.HigherLayer`.
 Compose it under a :class:`~repro.statemodel.composition.PriorityStack`
 below the routing protocol to get the paper's ``A ≫ SSMFP`` arrangement.
 
-Incremental engine
-------------------
-Every guard of Algorithm 1 at processor ``p`` for destination ``d`` reads
-only *component ``d``* in the closed neighborhood of ``p``: ``p``'s own
-buffers and queue head for ``d``, its neighbors' component-``d`` buffers,
-``request_p`` (which concerns exactly one destination), and ``nextHop``
-entries for ``d`` at ``p`` and its neighbors (``last``-hop fields are
-always in ``N_p ∪ {p}`` — enforced by the corruption helpers).  SSMFP
-therefore opts into the simulator's dirty-set protocol at *component*
-granularity: all buffer, queue, request and routing mutations flow through
-notifier hooks that dirty ``(q, d)`` pairs (writer's closed neighborhood,
-single destination), rule-produced action lists are cached per component
-and reconciled only when dirty, and a processor's enabled list is
-assembled from its non-empty component entries in O(occupied components)
-(:mod:`repro.statemodel.components`).  :meth:`dirty_after` reports the
-processor projection of the component dirt.  The same notifications drive
-*incremental queue reconciliation*: ``before_step`` re-syncs only the
-``choice`` queues whose candidate sets may have changed instead of
-sweeping every active component (the ``aged_fair`` policy is the exception
-— its wait-ages tick once per reconciliation, so it keeps the full
-per-step sweep; queue-head notifications keep guard caching exact even
-then).  ``next_hop`` lookups are cached per ``(d, p)`` and invalidated
-through the routing observer, so ``candidates()`` stops re-querying the
-routing service per neighbor per step.  See ``docs/engine.md`` for the
-per-rule locality argument.
+All the machinery shared across the protocol family — the incremental
+dirty-component engine, sparse lazy queues, snapshot/restore, footprint
+trails — lives in :class:`~repro.core.family.ForwardingProtocol`; this
+module only declares what is specific to Algorithm 1: the rule set R1–R6,
+the two-buffer (``bufR``/``bufE``) shape with the copy-then-erase
+handshake, the emission-plane offer predicate, and the Figure-2 buffer
+graph.
 
 Ablation knobs (all default to the paper's design):
 
@@ -49,30 +31,28 @@ Ablation knobs (all default to the paper's design):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional
 
 from repro.app.higher_layer import HigherLayer
-from repro.core.buffers import ForwardingBuffers
-from repro.core.choice import LazyChoiceTable
-from repro.core.colors import free_color
+from repro.core.family import ForwardingProtocol
 from repro.core.ledger import DeliveryLedger
 from repro.core.rules import ALL_RULES
 from repro.network.graph import Network
-from repro.network.properties import max_degree
 from repro.routing.table import RoutingService
-from repro.statemodel.action import Action
-from repro.statemodel.components import ComponentDirtyCache
-from repro.statemodel.message import MessageFactory
-from repro.statemodel.protocol import Protocol
-from repro.statemodel.snapshot import StateVector
-from repro.types import Color, DestId, ProcId
+from repro.statemodel.message import Message
+from repro.types import DestId, ProcId
 
 
-class SSMFP(Protocol):
-    """Snap-Stabilizing Message Forwarding Protocol."""
+class SSMFP(ForwardingProtocol):
+    """Snap-Stabilizing Message Forwarding Protocol (journal Algorithm 1)."""
 
     name = "SSMFP"
-    tracks_components = True
+    rules = ALL_RULES
+    generation_rule = "R1"
+    forwarding_rules = ("R2", "R3")
+    buffer_kinds = ("R", "E")
+    offer_kind = "E"
+    runtime_window_cap = None  # two buffers per hop → lanes may pipeline
 
     def __init__(
         self,
@@ -88,441 +68,25 @@ class SSMFP(Protocol):
         choice_wait_cap: int = 256,
         choice_wait_slowdown: int = 32,
     ) -> None:
-        self.net = net
-        self.routing = routing
-        self.hl = higher_layer
-        self.ledger = ledger if ledger is not None else DeliveryLedger()
-        self.factory = MessageFactory()
-        self.bufs = ForwardingBuffers(net.n)
-        #: ``queues[d][p]`` — the ``choice_p(d)`` fairness queue.  Sparse:
-        #: queues materialize on first mutation and are evicted once
-        #: clean-empty again (an absent queue reads as clean-empty, which is
-        #: the identical observable state).
-        self.queues = LazyChoiceTable(
-            choice_policy,
-            wait_cap=choice_wait_cap,
-            wait_slowdown=choice_wait_slowdown,
+        super().__init__(
+            net,
+            routing,
+            higher_layer,
+            ledger,
+            enable_colors=enable_colors,
+            choice_policy=choice_policy,
+            choice_wait_cap=choice_wait_cap,
+            choice_wait_slowdown=choice_wait_slowdown,
         )
-        #: The paper's Δ; colors live in {0..Δ}.
-        self.delta = max_degree(net)
-        self._choice_policy = choice_policy
-        self.enable_colors = enable_colors
         self.enable_r5 = enable_r5
         self.r5_literal = r5_literal
-        self.current_step = 0
 
-        # -- incremental-engine state ---------------------------------------
-        n = net.n
-        #: Whether the routing provider reports its table mutations; without
-        #: that discipline no derived state can be cached safely and the
-        #: protocol behaves exactly like the pre-incremental engine.
-        self._incremental = bool(getattr(routing, "notifies_mutations", False))
-        self._aged = choice_policy in ("aged", "aged_fair")
-        # aged_fair wait-ages advance once per sync, so reconciliation must
-        # stay a full per-step sweep to keep the paper-equivalent semantics.
-        self._sync_every_step = choice_policy == "aged_fair"
-        self._all_dirty = True
-        self._residue_purged = False
-        #: Component-granular dirty sets + per-(p, d) action cache.  Only
-        #: consulted outside the all-dirty regime (i.e. after the simulator
-        #: has started draining :meth:`dirty_after`); external callers that
-        #: never drain — the model checker, direct test probes — stay on the
-        #: classic fresh scan forever.
-        self._components = ComponentDirtyCache(n)
-        self.component_evals = 0
-        #: When the exhaustive verifier measures an action's *footprint*
-        #: (see ``repro/verify/reduction.py``), it points this at a set and
-        #: every notification sink records the ``(processor, destination)``
-        #: components the mutation dirties — logged *before* the
-        #: ``_all_dirty`` short-circuits, so the trace is complete even
-        #: while the component cache is wholesale-invalid.  ``None`` in the
-        #: set is the wildcard left by the non-localizable full-rescan
-        #: hatch.  ``None`` here (the default) disables recording at the
-        #: cost of one attribute test per notification.
-        self.footprint_log: Optional[Set[Optional[Tuple[ProcId, DestId]]]] = None
-        #: Queues to re-sync at the next ``before_step``, per destination.
-        self._resync: Dict[DestId, Set[ProcId]] = {}
-        #: Cached ``next_hop`` values, sparse ``{d: {q: hop}}`` — absent =
-        #: not yet queried.
-        self._nh_cache: Dict[DestId, Dict[ProcId, ProcId]] = {}
-        #: Closed neighborhood of every processor, precomputed.
-        self._nbhd: List[Tuple[ProcId, ...]] = [
-            (p, *net.neighbors(p)) for p in net.processors()
-        ]
-        if self._incremental:
-            # add_notifier (not bind) so later subscribers — the
-            # message-lifecycle tracer of ``repro.obs`` — chain behind the
-            # dirty-set hook instead of silently replacing it.
-            self.bufs.add_notifier(self._on_buffer_write)
-            self.hl.bind_notifier(self._on_request_change)
-            routing.add_observer(self._on_routing_change)
-            # Applied to every queue at materialization with key (d, p).
-            self.queues.bind_notifier(self._on_queue_event)
+    def offered_message(self, d: DestId, q: ProcId) -> Optional[Message]:
+        """SSMFP offers through the emission plane: ``bufE_q(d)``."""
+        return self.bufs.get_e(d, q)
 
-    # -- procedures of Algorithm 1 ------------------------------------------
+    @classmethod
+    def buffer_graph(cls, net: Network, routing: RoutingService):
+        from repro.buffergraph.ssmfp_graph import ssmfp_buffer_graph
 
-    def pick_color(self, p: ProcId, d: DestId) -> Color:
-        """``color_p(d)``; the ablation knob degrades it to constant 0."""
-        if not self.enable_colors:
-            return 0
-        return free_color(self.net, self.bufs.R[d], p, self.delta)
-
-    def next_hop(self, q: ProcId, d: DestId) -> ProcId:
-        """``nextHop_q(d)`` through the per-entry cache (invalidated by the
-        routing observer; bypassed for non-notifying providers)."""
-        if not self._incremental:
-            return self.routing.next_hop(q, d)
-        row = self._nh_cache.get(d)
-        if row is None:
-            row = self._nh_cache[d] = {}
-        hop = row.get(q)
-        if hop is None:
-            hop = row[q] = self.routing.next_hop(q, d)
-        return hop
-
-    def candidates(self, p: ProcId, d: DestId) -> Set[ProcId]:
-        """The requesters ``choice_p(d)`` selects among: neighbors whose
-        emission buffer targets ``p``, plus ``p`` itself when it wants to
-        generate for ``d``."""
-        cand: Set[ProcId] = set()
-        get_e = self.bufs.get_e
-        for q in self.net.neighbors(p):
-            if get_e(d, q) is not None and self.next_hop(q, d) == p:
-                cand.add(q)
-        if self.hl.request[p] and self.hl.next_destination(p) == d:
-            cand.add(p)
-        return cand
-
-    # -- incremental-engine notification sinks --------------------------------
-
-    def _on_buffer_write(self, d: DestId, p: ProcId, kind: str) -> None:
-        """A buffer of ``p`` in component ``d`` was written.  Guards reading
-        it live in component ``d`` of the closed neighborhood of ``p``
-        (buffers are strictly per-destination — no rule reads across
-        components); emission-buffer writes also change the candidate sets
-        of ``p``'s neighbors."""
-        nbhd = self._nbhd[p]
-        log = self.footprint_log
-        if log is not None:
-            log.update((x, d) for x in nbhd)
-        if self._all_dirty:
-            return
-        self._components.mark_many(nbhd, d)
-        if kind != "R":
-            self._resync.setdefault(d, set()).update(nbhd)
-
-    def _on_queue_event(self, key, kind: str) -> None:
-        """``choice_p(d)`` changed.  Only ``p``'s own guards for component
-        ``d`` read the head; out-of-sync mutations (serve/force)
-        additionally require the queue to be reconciled before the next
-        guard evaluation."""
-        d, p = key
-        log = self.footprint_log
-        if log is not None:
-            log.add((p, d))
-        if self._all_dirty:
-            return
-        self._components.mark(p, d)
-        if kind == "mutate":
-            self._resync.setdefault(d, set()).add(p)
-
-    def _on_request_change(self, p: ProcId, dest: Optional[DestId]) -> None:
-        """``request_p`` was raised or lowered for destination ``dest`` —
-        only R1 at the single component ``(p, dest)`` reads the handshake."""
-        log = self.footprint_log
-        if log is not None:
-            log.add((p, dest) if dest is not None else None)
-        if self._all_dirty:
-            return
-        if dest is None:
-            # A raise/lower with no identifiable destination cannot be
-            # localized; fall back to the full re-scan hatch.
-            self.mark_all_dirty()
-            return
-        self._components.mark(p, dest)
-        self._resync.setdefault(dest, set()).add(p)
-
-    def _on_routing_change(self, p: Optional[ProcId], d: Optional[DestId]) -> None:
-        """``nextHop_p(d)`` moved (or, with ``(None, None)``, the whole
-        table was rewritten).  Invalidate the hop cache and dirty every
-        reader — all in component ``d``: ``p``'s own R4 guard, the candidate
-        sets of ``p``'s neighbors, and R5 at holders of copies last
-        forwarded by ``p`` (always within the closed neighborhood)."""
-        log = self.footprint_log
-        if p is None or d is None:
-            if log is not None:
-                log.add(None)
-            self._nh_cache.clear()
-            self.mark_all_dirty()
-            return
-        if log is not None:
-            log.update((x, d) for x in self._nbhd[p])
-        row = self._nh_cache.get(d)
-        if row is not None:
-            row.pop(p, None)
-        if self._all_dirty:
-            return
-        nbhd = self._nbhd[p]
-        self._components.mark_many(nbhd, d)
-        self._resync.setdefault(d, set()).update(nbhd)
-
-    def mark_all_dirty(self) -> None:
-        """Fall back to a full re-scan and full queue reconciliation at the
-        next step — the hatch for mutations outside the notifier hooks.
-        The component cache is rebuilt wholesale when the simulator next
-        drains :meth:`dirty_after`."""
-        log = self.footprint_log
-        if log is not None:
-            log.add(None)
-        self._all_dirty = True
-        self._resync.clear()
-
-    def dirty_after(self, selection) -> Optional[Set[ProcId]]:
-        if not self._incremental:
-            return None
-        if self._all_dirty:
-            self._all_dirty = False
-            self._components.invalidate_all()
-            return None
-        # Project the component dirt onto processors *without* draining it:
-        # each processor's dirty components are reconciled lazily inside
-        # :meth:`enabled_actions`.  A processor whose SSMFP actions are
-        # priority-masked (the routing layer answers first) keeps its dirt
-        # until the mask lifts and its components are finally re-evaluated.
-        return set(self._components.dirty_pids)
-
-    # -- Protocol interface ------------------------------------------------------
-
-    def before_step(self, step: int) -> None:
-        """Environment phase: raise requests, reconcile choice queues.
-
-        With the incremental engine, only queues whose candidate sets may
-        have changed since the previous step (recorded by the notifier
-        hooks) are reconciled; otherwise every destination component that
-        can possibly act (occupied buffers or a pending request) is swept —
-        idle components have no candidates by definition, and their rules'
-        guards are all false.
-        """
-        self.current_step = step
-        self.hl.before_step(step)
-        if self._incremental and not self._all_dirty and not self._sync_every_step:
-            resync = self._resync
-            if resync:
-                self._resync = {}
-                for d, procs in resync.items():
-                    for p in procs:
-                        self._sync_queue(d, p)
-        else:
-            self._resync.clear()
-            self._full_reconcile()
-
-    def _full_reconcile(self) -> None:
-        """Reconcile every queue of every active destination component."""
-        active = self.active_destinations()
-        procs = self.net.processors()
-        for d in active:
-            for p in procs:
-                self._sync_queue(d, p)
-        if self._incremental and not self._residue_purged and not self._sync_every_step:
-            # One-time purge of scrambled initial queue entries in *inactive*
-            # components.  The classic engine removes them lazily the step
-            # the component activates (with no emission buffer occupied and
-            # no request yet, every stale entry is a non-candidate); purging
-            # now is trace-equivalent because guards never read queues of
-            # inactive components, and it keeps the incremental resync
-            # channel free of pre-execution residue.  Only *materialized*
-            # queues can hold residue — an absent queue is clean-empty by
-            # construction — so the sweep is O(materialized), not O(n²).
-            # aged_fair skips this: it full-reconciles every step, so
-            # residue is handled exactly like the classic engine already.
-            self._residue_purged = True
-            stale = [
-                (d, p)
-                for d, p, _ in self.queues.iter_materialized()
-                if d not in active
-            ]
-            for d, p in stale:
-                self._sync_queue(d, p)
-
-    def _sync_queue(self, d: DestId, p: ProcId) -> None:
-        cand = self.candidates(p, d)
-        queue = self.queues.peek(d, p)
-        if queue is None:
-            if not cand:
-                return  # absent queue ≡ clean-empty: nothing to reconcile
-            queue = self.queues.materialize(d, p)
-        if self._aged:
-            get_e = self.bufs.get_e
-            priority = {}
-            for q in cand:
-                if q != p:
-                    msg = get_e(d, q)
-                    if msg is not None:
-                        priority[q] = msg.hops
-            queue.sync(cand, priority)
-        else:
-            queue.sync(cand)
-        if not cand:
-            # Quiescence eviction: a drained queue with no candidates is
-            # indistinguishable from an absent one, so drop it.
-            self.queues.evict_if_clean(d, p)
-
-    def active_destinations(self) -> Set[DestId]:
-        """Destinations whose component holds messages or has a pending
-        generation request — O(active) from the incrementally maintained
-        occupancy and request indexes, never an O(n) sweep."""
-        return self.bufs.occupied_components() | self.hl.requested_destinations()
-
-    def _active_sorted(self, request_dest: Optional[DestId]) -> List[DestId]:
-        """Ascending list of destinations a scan must examine: occupied
-        components plus (when raised) the scanning processor's own request
-        destination.  Ascending order is part of the enabled-list contract —
-        daemons observe it."""
-        occ = self.bufs.occupied_components()
-        if request_dest is not None and request_dest not in occ:
-            return sorted([*occ, request_dest])
-        return sorted(occ)
-
-    def _eval_component(self, pid: ProcId, d: DestId) -> List[Action]:
-        """Evaluate rules R1–R6 at the single component ``(pid, d)``.
-
-        Fast path: with both local buffers empty, only R1 (a pending
-        request chosen by the queue) or R3 (a queued neighbor offer) can be
-        enabled — both require a nonempty choice queue.  Sound whether or
-        not the component is active, so the reconcile path can call this
-        for any dirty component.
-        """
-        bufs = self.bufs
-        if (
-            bufs.get_r(d, pid) is None
-            and bufs.get_e(d, pid) is None
-            and self.queues.head(d, pid) is None
-        ):
-            return []
-        actions: List[Action] = []
-        for rule in ALL_RULES:
-            action = rule(self, pid, d)
-            if action is not None:
-                actions.append(action)
-        return actions
-
-    def _scan_enabled(self, pid: ProcId, count: bool) -> List[Action]:
-        """Classic left-to-right scan over the active destinations (the
-        full-scan engine and the pre-cache oracle)."""
-        hl = self.hl
-        request_dest = hl.next_destination(pid) if hl.request[pid] else None
-        active = self._active_sorted(request_dest)
-        if count:
-            self.component_evals += len(active)
-        actions: List[Action] = []
-        for d in active:
-            actions.extend(self._eval_component(pid, d))
-        return actions
-
-    def _rebuild_components(self, pid: ProcId) -> None:
-        """(Re)build every component entry of ``pid`` from scratch — same
-        cost and same examination order as one classic scan."""
-        cache = self._components
-        entries = cache.entries[pid]
-        entries.clear()
-        hl = self.hl
-        request_dest = hl.next_destination(pid) if hl.request[pid] else None
-        active = self._active_sorted(request_dest)
-        self.component_evals += len(active)
-        for d in active:
-            acts = self._eval_component(pid, d)
-            if acts:
-                entries[d] = acts
-        dirty = cache.dirty.get(pid)
-        if dirty:
-            dirty.clear()
-        cache.valid[pid] = True
-
-    def _reconcile_components(self, pid: ProcId) -> None:
-        """Re-evaluate only ``pid``'s dirty components, updating the
-        non-empty-entry index in place."""
-        cache = self._components
-        entries = cache.entries[pid]
-        dirty = cache.dirty[pid]
-        self.component_evals += len(dirty)
-        for d in dirty:
-            acts = self._eval_component(pid, d)
-            if acts:
-                entries[d] = acts
-            else:
-                entries.pop(d, None)
-        dirty.clear()
-
-    def enabled_actions(self, pid: ProcId) -> List[Action]:
-        if not self._incremental or self._all_dirty:
-            return self._scan_enabled(pid, count=True)
-        cache = self._components
-        if not cache.valid[pid]:
-            self._rebuild_components(pid)
-        elif cache.dirty.get(pid):
-            self._reconcile_components(pid)
-        cache.dirty_pids.discard(pid)
-        return cache.assemble(pid)
-
-    def enabled_actions_fresh(self, pid: ProcId) -> List[Action]:
-        """The ``debug_check`` oracle: always a full fresh scan, no caches,
-        no counting."""
-        return self._scan_enabled(pid, count=False)
-
-    # -- introspection -----------------------------------------------------------
-
-    def network_is_empty(self) -> bool:
-        """True iff no buffer of any component holds a message."""
-        return self.bufs.total_occupied() == 0
-
-    def dump(self) -> Dict[str, object]:
-        """Compact dump of every occupied buffer, keyed ``bufK_p(d)``."""
-        out: Dict[str, object] = {}
-        for d, p, kind, msg in self.bufs.iter_messages():
-            out[f"buf{kind}_{p}({d})"] = repr(msg)
-        return out
-
-    # -- snapshot/restore ----------------------------------------------------
-
-    def snapshot(self) -> StateVector:
-        """State vector of the full SSMFP layer: buffers, nonempty choice
-        queues (sparse, ascending ``(d, p)``), the higher layer, the
-        ledger, the uid counters and the current step.  The routing
-        provider is *not* included — either it is immutable
-        (:class:`~repro.routing.static.StaticRouting`) or it participates
-        in the protocol stack and snapshots itself.  Engine caches
-        (component dirt, ``next_hop`` cache, resync sets) are derived
-        state: :meth:`restore` repairs them through the ordinary change
-        notifiers."""
-        return (
-            self.bufs.snapshot(),
-            tuple(self.queues.sorted_states()),
-            self.hl.snapshot(),
-            self.ledger.snapshot(),
-            self.factory.snapshot(),
-            self.current_step,
-        )
-
-    def restore(self, vec: StateVector) -> None:
-        """Reinstate a previously captured :meth:`snapshot`.  Every real
-        change flows through the component mutators, so the incremental
-        engine's dirty sets end up covering exactly the components that
-        differ from the pre-restore configuration."""
-        bufs_vec, queues_vec, hl_vec, ledger_vec, factory_vec, step = vec
-        self.bufs.restore(bufs_vec)
-        target = {(d, p): state for d, p, state in queues_vec}
-        empty = ((), ())
-        # Materialized queues absent from the target go back to clean-empty
-        # (with the same "mutate" notification a dense restore fired) and
-        # are then evicted; unmaterialized ones are clean-empty already.
-        for d, p, queue in list(self.queues.iter_materialized()):
-            if (d, p) not in target:
-                if len(queue) or queue.state() != empty:
-                    queue.restore(empty)
-                self.queues.evict_if_clean(d, p)
-        for (d, p), state in target.items():
-            self.queues.materialize(d, p).restore(state)
-        self.hl.restore(hl_vec)
-        self.ledger.restore(ledger_vec)
-        self.factory.restore(factory_vec)
-        self.current_step = step
+        return ssmfp_buffer_graph(net, routing)

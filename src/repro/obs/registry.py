@@ -110,8 +110,10 @@ class MetricsRegistry:
     """Named, labeled instruments with JSONL export.
 
     Instruments are created on first use and shared thereafter:
-    ``registry.counter("rule_executions", protocol="SSMFP", rule="R2")``
-    always returns the same :class:`Counter` for the same name/labels.
+    ``registry.counter("rule_executions", protocol=proto.name, rule="R2")``
+    always returns the same :class:`Counter` for the same name/labels
+    (label by the protocol's ``name`` attribute, never a hardcoded string,
+    so family members stay distinguishable in exported artifacts).
     Hot paths should hold the returned instrument instead of re-resolving
     it every event.
     """

@@ -14,7 +14,8 @@ engine already established —
 * the :class:`~repro.core.ledger.DeliveryLedger` observer stream
   (``generated`` / ``delivered`` / ``lost``),
 * the :class:`~repro.core.buffers.ForwardingBuffers` write notifier
-  (chained after SSMFP's own dirty-set hook, never replacing it),
+  (chained after the forwarding protocol's own dirty-set hook, never
+  replacing it),
 * the :class:`~repro.app.higher_layer.HigherLayer` submit notifier.
 
 Nothing in the protocol or the engine knows the tracer exists; a run
@@ -83,20 +84,26 @@ class MessageTracer:
         self._slots: Dict[Tuple[int, int, str], int] = {}
         self._sim = None
         self._bufs = None
+        #: The attached forwarding protocol's ``name`` (stamped on rows).
+        self._protocol = None
 
     # -- attachment --------------------------------------------------------------
 
     def attach(self, simulation) -> "MessageTracer":
         """Subscribe to a :class:`~repro.sim.runner.Simulation`'s hooks.
 
-        Chains behind any hooks already installed (notably SSMFP's own
-        incremental-engine notifiers).  Baselines without SSMFP-style
-        buffers still get the ledger-level lifecycle (generated /
-        delivered / lost), just no per-buffer hops.
+        Chains behind any hooks already installed (notably the forwarding
+        protocol's own incremental-engine notifiers).  Baselines without
+        family-style buffers still get the ledger-level lifecycle
+        (generated / delivered / lost), just no per-buffer hops.  The
+        forwarding protocol's ``name`` is captured here and stamped on
+        every exported row, so arena artifacts stay distinguishable per
+        protocol.
         """
         if self._sim is not None:
             raise RuntimeError("tracer is already attached to a simulation")
         self._sim = simulation.sim
+        self._protocol = getattr(simulation.forwarding, "name", None)
         simulation.ledger.add_observer(self._on_ledger_event)
         hl = getattr(simulation, "hl", None)
         if hl is not None and hasattr(hl, "bind_submit_notifier"):
@@ -299,6 +306,8 @@ class MessageTracer:
                     "round": e.round,
                     "event": e.kind,
                 }
+                if self._protocol is not None:
+                    row["protocol"] = self._protocol
                 if e.dest is not None:
                     row["dest"] = e.dest
                 if e.proc is not None:

@@ -62,6 +62,13 @@ class ClusterSpec:
     topology: Dict[str, Any]
     messages: int = 100
     seed: int = 0
+    #: Forwarding protocol the cluster emulates (registry name).  The live
+    #: hop protocol is the same DATA/ACK/REL/RACK lane machinery for every
+    #: family member; what differs is the buffer budget, enforced through
+    #: the protocol's ``runtime_window_cap`` — SSMFP's two buffers per hop
+    #: admit pipelined lanes, SSMFP2's single fused buffer caps every lane
+    #: at window 1 (stop-and-wait).
+    protocol: str = "ssmfp"
     transport: str = "local"            #: "local" | "tcp"
     procs: int = 1                      #: >1 => multi-process (tcp only)
     workload: str = "uniform"
@@ -84,11 +91,17 @@ class ClusterSpec:
         )
 
     def build_params(self) -> RuntimeParams:
+        from repro.core.registry import resolve
+
+        window = self.window
+        cap = resolve(self.protocol).runtime_window_cap
+        if cap is not None:
+            window = min(window, cap)
         return RuntimeParams(
             tick=self.tick,
             retry_base=self.retry_base,
             retry_cap=self.retry_cap,
-            window=self.window,
+            window=window,
             max_batch=self.max_batch,
         )
 
@@ -156,7 +169,8 @@ class RuntimeResult:
         """Human-readable run summary (printed by the CLI)."""
         status = "PARTIAL" if self.partial else "OK"
         lines = [
-            f"runtime [{status}] transport={self.spec.transport} "
+            f"runtime [{status}] protocol={self.spec.protocol} "
+            f"transport={self.spec.transport} "
             f"procs={self.spec.procs} elapsed={self.elapsed_s:.2f}s "
             f"throughput={self.throughput:.0f} msg/s",
             self.report.summary(),
@@ -568,6 +582,9 @@ def run_cluster(spec: ClusterSpec) -> RuntimeResult:
         raise ConfigurationError("multi-process clusters require transport='tcp'")
     if spec.procs < 1:
         raise ConfigurationError("procs must be >= 1")
+    from repro.core.registry import resolve
+
+    resolve(spec.protocol)  # raises ConfigurationError on unknown names
     started = time.monotonic()
     result = RuntimeResult(spec=spec, report=ConformanceReport())
     if spec.procs > 1:

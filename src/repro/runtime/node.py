@@ -41,6 +41,14 @@ of the paper (arXiv:0905.2540) derives the delivery guarantee from the
 erase/duplication discipline, not from per-message lockstep — and the
 conformance harness (:mod:`repro.runtime.conformance`) re-checks it from
 the event log of every run.
+
+The same node class serves every member of the protocol family: the
+fused single-buffer protocol (``repro.core.protocol2``) differs only in
+its buffer budget, which :class:`~repro.runtime.cluster.ClusterSpec`
+enforces by clamping ``params.window`` to the protocol's declared
+``runtime_window_cap`` (1 for SSMFP2 — each lane degenerates to the
+stop-and-wait handshake, the faithful live analogue of one fused buffer
+per hop).
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ trace's round markers so both units are available.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.ledger import DeliveryLedger
 from repro.statemodel.trace import TraceRecorder
@@ -72,17 +72,39 @@ def delivery_latency_rounds(
     return out
 
 
-def moves_per_delivery(rule_counts: Dict[str, int], delivered: int) -> Optional[float]:
-    """Forwarding moves (R2+R3 for SSMFP, BF for the baseline) divided by
-    delivered messages; None when nothing was delivered."""
+def moves_per_delivery(
+    rule_counts: Dict[str, int],
+    delivered: int,
+    forwarding_rules: Optional[Sequence[str]] = None,
+) -> Optional[float]:
+    """Forwarding moves divided by delivered messages; None when nothing
+    was delivered.
+
+    ``forwarding_rules`` names the rules that count as moves — pass the
+    protocol's ``forwarding_rules`` attribute for a single-protocol run.
+    The default is the union over every registered family member plus the
+    baseline labels (``BF``/``NF``), which is correct whenever a run
+    executes one protocol (rule labels are disjoint across the family)."""
     if delivered <= 0:
         return None
+    if forwarding_rules is None:
+        forwarding_rules = _default_forwarding_rules()
+    wanted = set(forwarding_rules)
     moves = sum(
-        count
-        for rule, count in rule_counts.items()
-        if rule in ("R2", "R3", "BF", "NF")
+        count for rule, count in rule_counts.items() if rule in wanted
     )
     return moves / delivered
+
+
+def _default_forwarding_rules() -> Set[str]:
+    # Imported lazily: repro.core.registry imports the protocol classes,
+    # and metrics must stay importable from anywhere in the stack.
+    from repro.core.registry import PROTOCOLS
+
+    rules: Set[str] = {"BF", "NF"}
+    for cls in PROTOCOLS.values():
+        rules.update(cls.forwarding_rules)
+    return rules
 
 
 def amortized_rounds_per_delivery(

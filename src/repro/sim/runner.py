@@ -17,9 +17,10 @@ from repro.app.workload import Workload
 from repro.baselines.merlin_schweitzer import MerlinSchweitzerForwarding
 from repro.baselines.naive import NaiveForwarding
 from repro.core.corruption import plant_invalid_messages, scramble_queues
+from repro.core.family import ForwardingProtocol
 from repro.core.invariants import InvariantChecker
 from repro.core.ledger import DeliveryLedger
-from repro.core.protocol import SSMFP
+from repro.core.registry import resolve
 from repro.errors import ConfigurationError, SimulationLimitExceeded
 from repro.network.graph import Network
 from repro.routing.corruption import corrupt_random, corrupt_worst_case
@@ -125,7 +126,7 @@ class Simulation:
 
     def _occupancy(self) -> int:
         fw = self.forwarding
-        if isinstance(fw, SSMFP):
+        if isinstance(fw, ForwardingProtocol):
             return fw.bufs.total_occupied()
         if isinstance(fw, MerlinSchweitzerForwarding):
             return sum(1 for row in fw.buf for m in row if m is not None)
@@ -199,13 +200,15 @@ def build_simulation(
     strict_invariants: bool = False,
     ledger_strict: bool = True,
     trace: Optional[TraceRecorder] = None,
+    protocol: str = "ssmfp",
+    protocol_options: Optional[Dict] = None,
     ssmfp_options: Optional[Dict] = None,
     full_scan: bool = False,
     debug_check: bool = False,
     obs: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> Simulation:
-    """Assemble the full SSMFP system.
+    """Assemble the full forwarding system (SSMFP by default).
 
     Parameters
     ----------
@@ -223,8 +226,13 @@ def build_simulation(
     strict_invariants:
         Install the per-step :class:`InvariantChecker` hook (O(n²)/step —
         for tests, not large benches).
-    ssmfp_options:
-        Extra keyword arguments for :class:`SSMFP` (ablation knobs).
+    protocol:
+        Registry name of the forwarding protocol to assemble
+        (``"ssmfp"``, ``"ssmfp2"``; see :mod:`repro.core.registry`).
+    protocol_options:
+        Extra keyword arguments for the protocol's constructor (ablation
+        knobs).  ``ssmfp_options`` is the legacy spelling and is merged
+        underneath.
     full_scan:
         Disable the incremental enabled-set engine: every guard of every
         processor is re-evaluated each step (the classic engine; the oracle
@@ -244,7 +252,9 @@ def build_simulation(
     routing = _make_routing(net, routing_mode, routing_corruption, seed)
     ledger = DeliveryLedger(strict=ledger_strict)
     hl = HigherLayer(net.n)
-    proto = SSMFP(net, routing, hl, ledger, **(ssmfp_options or {}))
+    proto_cls = resolve(protocol)
+    options = {**(ssmfp_options or {}), **(protocol_options or {})}
+    proto = proto_cls(net, routing, hl, ledger, **options)
 
     if garbage:
         plant_invalid_messages(

@@ -17,9 +17,14 @@ Schema (all sections optional except ``topology``)::
       "garbage":  {"fraction": 0.4},
       "scramble_choice_queues": true,
       "daemon":   {"name": "distributed", "kwargs": {"p_select": 0.5}},
-      "ssmfp":    {"choice_policy": "fifo"},
+      "protocol": "ssmfp",
+      "protocol_options": {"choice_policy": "fifo"},
       "seed": 7
     }
+
+``protocol`` is a registry name (:mod:`repro.core.registry`; default
+``"ssmfp"``); ``ssmfp`` is the legacy spelling of ``protocol_options``
+and is still honored (merged underneath).
 
 The workload ``kwargs`` are passed to the named generator with ``n``
 injected; daemon ``kwargs`` likewise get the seed injected unless given.
@@ -122,5 +127,7 @@ def simulation_from_spec(spec: Dict[str, Any]) -> Simulation:
         garbage=garbage,
         scramble_choice_queues=bool(spec.get("scramble_choice_queues", False)),
         ledger_strict=bool(spec.get("ledger_strict", True)),
+        protocol=str(spec.get("protocol", "ssmfp")),
+        protocol_options=spec.get("protocol_options"),
         ssmfp_options=spec.get("ssmfp"),
     )

@@ -1,4 +1,4 @@
-"""Exhaustive state-space exploration of small SSMFP instances.
+"""Exhaustive state-space exploration of small forwarding-protocol instances.
 
 The checker performs BFS over *every* reachable configuration: from each
 configuration it enumerates every daemon choice the model allows — every
@@ -59,7 +59,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.invariants import InvariantChecker
-from repro.core.protocol import SSMFP
+from repro.core.family import ForwardingProtocol
 from repro.errors import ReproError, SelectionOverflow
 from repro.statemodel.composition import PriorityStack
 from repro.statemodel.snapshot import StateVector
@@ -183,7 +183,7 @@ class _System:
     """The explorable bundle: the protocol stack plus the step counter,
     with snapshot/restore and snapshot-derived canonicalization."""
 
-    def __init__(self, proto: SSMFP, extra_protocols=()) -> None:
+    def __init__(self, proto: ForwardingProtocol, extra_protocols=()) -> None:
         self.proto = proto
         self.protocols = list(extra_protocols) + [proto]
         #: Built once and reused for every guard evaluation (the
@@ -371,7 +371,7 @@ class ModelChecker:
     ----------
     make_system:
         Zero-argument factory building the *initial* configuration: returns
-        an :class:`SSMFP` instance (with its higher layer already loaded
+        a :class:`ForwardingProtocol` instance (with its higher layer already loaded
         and any corruption applied) or a tuple ``(ssmfp, [higher-priority
         protocols])``.
     max_states:

@@ -240,7 +240,7 @@ class IndependenceOracle:
     state with the enabled-action table *while the system is in the
     parent configuration* (generation footprints peek at the outbox)."""
 
-    __slots__ = ("_closed", "_proto_name", "_hl")
+    __slots__ = ("_closed", "_proto_name", "_generation_rule", "_hl")
 
     def __init__(self, proto) -> None:
         net = proto.net
@@ -249,11 +249,14 @@ class IndependenceOracle:
             for p in net.processors()
         ]
         self._proto_name = proto.name
+        # The family's declared generation (starting) rule — generations
+        # race the global uid counter, so the oracle treats them specially.
+        self._generation_rule = getattr(proto, "generation_rule", "R1")
         self._hl = proto.hl
 
     def _features(self, pid: int, action):
         dest = action.info.get("dest")
-        generation = action.rule == "R1"
+        generation = action.rule == self._generation_rule
         upper = action.protocol != self._proto_name
         dests: Optional[Set[int]]
         if dest is None:
@@ -307,7 +310,7 @@ class IndependenceOracle:
         (e.g. same-destination actions two hops apart stop conflicting).
         The uid-counter and priority-mask special cases stay static: two
         generations race the global counter regardless of components, and
-        a higher-layer action's mask effect is not visible in the SSMFP
+        a higher-layer action's mask effect is not visible in the forwarding
         dirty channel."""
         if len(selection) == 1:
             return True
@@ -338,7 +341,7 @@ class IndependenceOracle:
     @staticmethod
     def _measured_independent(pid_a, feat_a, trail_a, pid_b, feat_b, trail_b):
         """Overrule a static conflict when both measured trails prove the
-        pair cannot interfere.  Only applies to plain SSMFP pairs with
+        pair cannot interfere.  Only applies to plain forwarding-layer pairs with
         known destinations; the static special cases are final."""
         closed_a, dests_a, gen_a, upper_a = feat_a
         closed_b, dests_b, gen_b, upper_b = feat_b

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.app.higher_layer import HigherLayer
 from repro.core.ledger import DeliveryLedger
 from repro.core.protocol import SSMFP
+from repro.core.protocol2 import SSMFP2
 from repro.routing.static import StaticRouting
 
 
@@ -15,3 +16,12 @@ def make_ssmfp(net, routing=None, **kwargs):
     hl = HigherLayer(net.n)
     ledger = DeliveryLedger()
     return SSMFP(net, routing, hl, ledger, **kwargs)
+
+
+def make_ssmfp2(net, routing=None, **kwargs):
+    """Assemble an SSMFP2 (fused single-buffer) instance with static
+    routing and fresh higher-layer/ledger."""
+    routing = routing if routing is not None else StaticRouting(net)
+    hl = HigherLayer(net.n)
+    ledger = DeliveryLedger()
+    return SSMFP2(net, routing, hl, ledger, **kwargs)
