@@ -1,0 +1,82 @@
+"""Chaos-campaign benchmark: the scenario subsystem under the clock.
+
+Runs the shipped corruption-burst campaign (smoke-sized) serially and
+over a 4-worker pool, gates that every expanded run keeps the
+snap-stabilization obligation (deliver_all PASS) with a nonzero fault
+timeline, that the worker pool changes nothing about the verdicts, and
+archives the verdict table as ``results/SCENARIO.txt`` / ``.jsonl``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from conftest import archive, bench_once
+from repro.scenario import load_scenario_file, run_campaign
+from repro.sim.reporting import format_table
+
+_SPEC = (
+    pathlib.Path(__file__).parent.parent / "specs" / "corruption_burst_sweep.toml"
+)
+
+#: The spec's matrix is protocols x ring sizes x repeats.
+_EXPECTED_RUNS = 2 * 2 * 2
+
+
+def _identity(row):
+    return {
+        k: row.get(k)
+        for k in ("label", "verdict", "generated", "delivered", "faults_injected")
+    }
+
+
+def test_bench_scenario_campaign(benchmark):
+    data = load_scenario_file(_SPEC)
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = run_campaign(data, smoke=True)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = run_campaign(data, smoke=True, workers=4)
+        pooled_s = time.perf_counter() - t0
+        return serial, pooled, serial_s, pooled_s
+
+    serial, pooled, serial_s, pooled_s = bench_once(benchmark, measure)
+
+    # Every expanded run delivers everything despite the chaos, with the
+    # adversary demonstrably active.
+    assert len(serial.rows) == _EXPECTED_RUNS
+    assert serial.ok, serial.summary()
+    assert all(row["faults_injected"] > 0 for row in serial.rows)
+    assert all(row["delivered"] == row["generated"] for row in serial.rows)
+
+    # The worker pool is an execution detail: identical verdicts and
+    # counters, row for row.
+    assert [_identity(r) for r in pooled.rows] == [
+        _identity(r) for r in serial.rows
+    ]
+
+    rows = [
+        {**_identity(row), "target": row["target"], "protocol": row["protocol"]}
+        for row in serial.rows
+    ]
+    rows.append(
+        {
+            "label": "(campaign walls)",
+            "verdict": f"serial {serial_s:.2f}s / pooled {pooled_s:.2f}s",
+        }
+    )
+    archive(
+        "SCENARIO",
+        format_table(
+            rows,
+            columns=["label", "target", "protocol", "verdict", "generated",
+                     "delivered", "faults_injected"],
+            title="SCENARIO — corruption-burst campaign (smoke), "
+                  "serial vs 4-worker pool",
+        ),
+        rows=rows,
+        meta={"spec": _SPEC.name, "runs": _EXPECTED_RUNS},
+    )

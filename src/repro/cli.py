@@ -11,6 +11,10 @@ Entry points (also available via ``python -m repro``):
   exporting metrics/lifecycles (``--jsonl``) or printing one message's
   hop-by-hop causal timeline (``--timeline``);
 * ``repro obs summarize|diff`` — inspect and compare JSONL artifacts;
+* ``repro scenario run|campaign`` — declarative chaos scenarios: one
+  TOML/JSON spec (workload + timed fault schedule + budgets + pass
+  criteria) compiled onto the simulator's step clock or the runtime's
+  wall clock, optionally expanded over matrix axes (``docs/scenarios.md``);
 * ``repro runtime`` — run the protocol *live*: an asyncio cluster over an
   in-memory or TCP transport, optionally behind seeded fault injection,
   judged by the conformance oracle (``docs/runtime.md``).
@@ -181,6 +185,53 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument(
         "--tolerance", type=float, default=1e-9,
         help="numeric differences at or below this are ignored",
+    )
+
+    scn = sub.add_parser(
+        "scenario",
+        help="run declarative chaos scenarios (docs/scenarios.md)",
+    )
+    scn_sub = scn.add_subparsers(dest="scenario_command", required=True)
+    scn_run = scn_sub.add_parser(
+        "run", help="run one scenario spec (TOML or JSON) once"
+    )
+    scn_run.add_argument("spec", help="path to a scenario spec (.toml/.json)")
+    scn_run.add_argument(
+        "--target", default=None, choices=["simulate", "runtime"],
+        help="override the spec's execution target",
+    )
+    scn_run.add_argument(
+        "--smoke", action="store_true",
+        help="shrink workload and budgets for a fast CI-sized run",
+    )
+    scn_run.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write the run's metrics + fault timeline as a JSONL artifact",
+    )
+    scn_camp = scn_sub.add_parser(
+        "campaign",
+        help="expand the spec's matrix axes and run the whole family",
+    )
+    scn_camp.add_argument("spec", help="path to a scenario spec (.toml/.json)")
+    scn_camp.add_argument(
+        "--target", default=None, choices=["simulate", "runtime"],
+        help="override the spec's execution target for every run",
+    )
+    scn_camp.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan runs out over N worker processes (default: serial)",
+    )
+    scn_camp.add_argument(
+        "--smoke", action="store_true",
+        help="shrink every run's workload and budgets for CI",
+    )
+    scn_camp.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write one repro.obs/v1 artifact per run into DIR",
+    )
+    scn_camp.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="write the campaign summary as a JSONL artifact",
     )
 
     run = sub.add_parser(
@@ -744,6 +795,69 @@ def _cmd_runtime(args) -> int:
     return 1 if result.partial else 0
 
 
+def _cmd_scenario(args) -> int:
+    from repro.errors import ReproError
+    from repro.scenario import (
+        ScenarioSpec,
+        load_scenario_file,
+        run_campaign,
+        run_one_scenario,
+    )
+
+    try:
+        data = load_scenario_file(args.spec)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.scenario_command == "campaign":
+        try:
+            campaign = run_campaign(
+                data,
+                target=args.target,
+                smoke=args.smoke,
+                workers=args.workers,
+                artifact_dir=args.artifact_dir,
+                jsonl_path=args.jsonl,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(campaign.summary())
+        if args.jsonl:
+            print(f"artifact: {args.jsonl}", file=sys.stderr)
+        return 0 if campaign.ok else 1
+
+    try:
+        if args.target is not None:
+            data = {**data, "target": args.target}
+        spec = ScenarioSpec.from_dict(data)
+        if args.smoke:
+            spec = spec.smoked()
+        result = run_one_scenario(spec)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(
+            args.jsonl,
+            result.obs_rows,
+            kind="metric",
+            name=spec.name,
+            meta={
+                "scenario": spec.name,
+                "target": spec.target,
+                "protocol": spec.protocol,
+                "verdict": result.verdict,
+            },
+        )
+        print(f"artifact: {args.jsonl} ({count} rows)", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -761,6 +875,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "runtime":
         return _cmd_runtime(args)
     return _cmd_simulate(args)

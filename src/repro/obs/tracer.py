@@ -86,6 +86,10 @@ class MessageTracer:
         self._bufs = None
         #: The attached forwarding protocol's ``name`` (stamped on rows).
         self._protocol = None
+        #: Fault injections stamped into the timeline (scenario drivers and
+        #: :class:`~repro.sim.faults.RoutingFaultInjector` call
+        #: :meth:`record_fault`), exported as ``fault_event`` rows.
+        self._faults: List[Dict[str, Any]] = []
 
     # -- attachment --------------------------------------------------------------
 
@@ -233,6 +237,34 @@ class MessageTracer:
                     ),
                 )
 
+    def record_fault(
+        self,
+        action: str,
+        detail: Optional[Dict[str, Any]] = None,
+        step: Optional[int] = None,
+    ) -> None:
+        """Stamp a fault injection into the timeline.
+
+        ``step`` defaults to the attached simulation's current step, so a
+        fault lands between the message events it actually interleaved
+        with — that is what lets ``repro obs summarize`` correlate faults
+        with latency spikes.
+        """
+        at_step, rnd = self._stamp()
+        self._faults.append(
+            {
+                "step": at_step if step is None else step,
+                "round": rnd,
+                "action": action,
+                **(detail or {}),
+            }
+        )
+
+    @property
+    def fault_count(self) -> int:
+        """Number of faults recorded so far."""
+        return len(self._faults)
+
     # -- queries -----------------------------------------------------------------
 
     def uids(self) -> List[int]:
@@ -317,4 +349,10 @@ class MessageTracer:
                 for key, value in e.info.items():
                     row.setdefault(key, value)
                 out.append(row)
+        for fault in self._faults:
+            row = {"schema": SCHEMA, "kind": "fault_event"}
+            if self._protocol is not None:
+                row["protocol"] = self._protocol
+            row.update(fault)
+            out.append(row)
         return out

@@ -84,6 +84,12 @@ class ClusterSpec:
     wire_version: int = 2               #: frame encoding: 2 binary, 1 JSON
     #: Test hook: (worker_index, seconds) — that worker hard-exits mid-run.
     kill_worker_after: Optional[Tuple[int, float]] = None
+    #: Timed chaos events lowered onto the wall clock by
+    #: :mod:`repro.scenario` — dicts ``{"action", "t0", "t1", ...}``
+    #: (seconds from run start).  Driven by per-event asyncio tasks in the
+    #: hosting process; single-process runs only (a multi-process cluster
+    #: has no one place to pause a node or flip a shared netem knob).
+    chaos: Optional[List[Dict[str, Any]]] = None
 
     def build_network(self) -> Network:
         return topology_by_name(
@@ -138,6 +144,9 @@ class RuntimeResult:
     transport_stats: Dict[str, int] = field(default_factory=dict)
     netem_stats: Dict[str, int] = field(default_factory=dict)
     hop_latencies: List[float] = field(default_factory=list)
+    #: Mono-stamped fault transitions (netem flaps/partitions, crashes,
+    #: floods) merged from the transport log and the chaos driver.
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
     in_flight_samples: List[int] = field(default_factory=list)
     rto_samples: List[float] = field(default_factory=list)
     batch_sizes: List[int] = field(default_factory=list)
@@ -244,7 +253,15 @@ class RuntimeResult:
         registry.gauge("runtime_partial").set(1 if self.partial else 0)
         registry.gauge("runtime_elapsed_s").set(round(self.elapsed_s, 3))
         registry.gauge("runtime_throughput_msgs").set(round(self.throughput, 1))
-        return registry.rows()
+        registry.counter("faults_injected_total").inc(len(self.fault_events))
+        rows = registry.rows()
+        from repro.obs.registry import SCHEMA
+
+        for event in self.fault_events:
+            row: Dict[str, object] = {"schema": SCHEMA, "kind": "fault_event"}
+            row.update(event)
+            rows.append(row)
+        return rows
 
 
 # -- in-process execution ------------------------------------------------------
@@ -276,9 +293,110 @@ def _build_transport(
     else:
         raise ConfigurationError(f"unknown transport {spec.transport!r}")
     netem = spec.build_netem()
+    if netem is None and spec.chaos:
+        # Chaos schedules drive edge state / knob changes through the
+        # netem decorator, so a scheduled run always gets one — a noop
+        # config until the first event fires.
+        netem = NetemConfig()
     if netem is not None:
         return NetemTransport(base, netem, seed=spec.seed + netem_seed)
     return base
+
+
+def chaos_extra_messages(chaos: Optional[List[Dict[str, Any]]]) -> int:
+    """Messages that scheduled ``flood`` events will inject on top of the
+    workload — they count toward the delivery target and the conformance
+    oracle's expected-generated total."""
+    return sum(
+        int(event.get("count", 0))
+        for event in chaos or ()
+        if event.get("action") == "flood"
+    )
+
+
+async def _drive_chaos_event(
+    event: Dict[str, Any],
+    index: int,
+    spec: ClusterSpec,
+    net: Network,
+    transport: Transport,
+    by_pid: Dict[int, RuntimeNode],
+    fault_log: List[Dict[str, Any]],
+) -> None:
+    """Sleep until the event's window, apply it, undo it at window end.
+
+    One task per event; the scenario layer has already validated actions,
+    nodes and edges and lowered ``at``/``until`` to seconds (``t0``/``t1``
+    from run start).
+    """
+    import random as _random
+
+    netem = transport if isinstance(transport, NetemTransport) else None
+    action = event["action"]
+    t0 = float(event.get("t0", 0.0))
+    t1 = event.get("t1")
+    hold = max(0.0, float(t1) - t0) if t1 is not None else None
+
+    def log(kind: str, **detail: Any) -> None:
+        fault_log.append(
+            {
+                "mono": time.monotonic(),
+                "t": time.time(),
+                "action": kind,
+                **detail,
+            }
+        )
+
+    await asyncio.sleep(t0)
+    if action == "flood":
+        node = by_pid.get(int(event["source"]))
+        count = int(event.get("count", 0))
+        if node is not None:
+            prefix = event.get("payload", "flood")
+            for i in range(count):
+                node.submit(f"{prefix}-{index}-{i}", int(event["dest"]))
+        log("flood", source=event["source"], dest=event["dest"], count=count)
+    elif action == "crash":
+        node = by_pid.get(int(event["node"]))
+        if node is not None:
+            node.pause()
+            log("crash", node=event["node"])
+        await asyncio.sleep(hold or 0.0)
+        if node is not None:
+            node.resume()
+            log("restart", node=event["node"])
+    elif action == "partition":
+        assert netem is not None
+        for u, v in event["edges"]:
+            netem.force_down(int(u), int(v))
+        await asyncio.sleep(hold or 0.0)
+        for u, v in event["edges"]:
+            netem.force_up(int(u), int(v))
+    elif action == "netem":
+        assert netem is not None
+        previous = netem.config
+        netem.reconfigure(NetemConfig.from_spec(event["config"]))
+        if hold is not None:
+            await asyncio.sleep(hold)
+            netem.reconfigure(previous)
+    elif action == "link_flap":
+        assert netem is not None
+        rng = _random.Random(int(event.get("seed", 0)))
+        period = max(float(event.get("period", 1.0)), 0.01)
+        down = min(max(float(event.get("down", 0.05)), 0.01), period)
+        edges = [tuple(e) for e in event.get("edges") or []] or list(net.edges)
+        loop = asyncio.get_running_loop()
+        end = loop.time() + (hold if hold is not None else 0.0)
+        while loop.time() < end:
+            u, v = edges[rng.randrange(len(edges))]
+            netem.force_down(int(u), int(v))
+            await asyncio.sleep(min(down, max(0.0, end - loop.time())))
+            netem.force_up(int(u), int(v))
+            remainder = period - down
+            if remainder > 0:
+                await asyncio.sleep(min(remainder, max(0.0, end - loop.time())))
+    else:  # pragma: no cover - the scenario layer validates actions
+        raise ConfigurationError(f"unknown chaos action {action!r}")
 
 
 class _Progress:
@@ -323,6 +441,17 @@ async def _run_nodes(
             by_pid[src].submit(payload, dest)
     tasks = [asyncio.get_running_loop().create_task(node.run()) for node in nodes]
     holder["tasks"] = tasks
+    chaos_tasks: List["asyncio.Task"] = []
+    if spec.chaos:
+        fault_log = holder.setdefault("fault_events", [])
+        chaos_tasks = [
+            asyncio.get_running_loop().create_task(
+                _drive_chaos_event(
+                    dict(event), index, spec, net, transport, by_pid, fault_log
+                )
+            )
+            for index, event in enumerate(spec.chaos)
+        ]
     started = time.monotonic()
     deadline = started + spec.deadline
     try:
@@ -334,6 +463,9 @@ async def _run_nodes(
             for task in tasks:
                 if task.done() and task.exception() is not None:
                     raise task.exception()  # a node crashed: abort the run
+            for task in chaos_tasks:
+                if task.done() and task.exception() is not None:
+                    raise task.exception()  # a chaos driver bug: surface it
             if transport.protocol_errors:
                 # Mixed wire versions: no progress is possible — abort now
                 # with the readable report instead of idling to deadline.
@@ -355,9 +487,9 @@ async def _run_nodes(
     finally:
         for node in nodes:
             node.stop()
-        for task in tasks:
+        for task in chaos_tasks + tasks:
             task.cancel()
-        for task in tasks:
+        for task in chaos_tasks + tasks:
             try:
                 await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
@@ -382,6 +514,9 @@ def _collect_inprocess(
         if isinstance(transport, NetemTransport):
             _merge_counts(result.netem_stats, transport.fault_stats)
             _merge_counts(result.transport_stats, transport.base.stats)
+            result.fault_events.extend(transport.fault_events)
+    result.fault_events.extend(holder.get("fault_events", []))
+    result.fault_events.sort(key=lambda e: e.get("mono", 0.0))
     result.in_flight_samples = holder.get("in_flight", [])
     result.window_samples = holder.get("window_samples", [])
 
@@ -582,6 +717,11 @@ def run_cluster(spec: ClusterSpec) -> RuntimeResult:
         raise ConfigurationError("multi-process clusters require transport='tcp'")
     if spec.procs < 1:
         raise ConfigurationError("procs must be >= 1")
+    if spec.chaos and spec.procs > 1:
+        raise ConfigurationError(
+            "chaos schedules require procs=1 (a multi-process cluster has "
+            "no single place to pause a node or reconfigure the transport)"
+        )
     from repro.core.registry import resolve
 
     resolve(spec.protocol)  # raises ConfigurationError on unknown names
@@ -594,7 +734,7 @@ def run_cluster(spec: ClusterSpec) -> RuntimeResult:
 
     net = spec.build_network()
     submissions = spec.build_submissions()
-    target = len(submissions)
+    target = len(submissions) + chaos_extra_messages(spec.chaos)
     holder: Dict[str, Any] = {}
     progress = _Progress()
     try:

@@ -33,11 +33,26 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import ConfigurationError
 from repro.runtime.transport import Transport
 from repro.types import Edge, ProcId, normalized_edge
+
+#: Every key :meth:`NetemConfig.from_spec` understands — anything else in a
+#: spec is rejected, so a typo ("los") cannot silently become a no-op run.
+NETEM_SPEC_KEYS = (
+    "loss",
+    "dup",
+    "reorder",
+    "reorder_extra",
+    "latency",
+    "flap_period",
+    "flap_down",
+    "blocked_edges",
+)
 
 
 @dataclass(frozen=True)
@@ -66,7 +81,18 @@ class NetemConfig:
 
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "NetemConfig":
-        """Build from a plain dict (CLI / JSON spec form)."""
+        """Build from a plain dict (CLI / JSON spec form).
+
+        Unknown keys are rejected: netem specs configure an *adversary*,
+        and a misspelled knob that silently does nothing would make a
+        chaos run vacuously green.
+        """
+        unknown = sorted(set(spec) - set(NETEM_SPEC_KEYS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown netem key(s) {unknown}; "
+                f"valid keys: {sorted(NETEM_SPEC_KEYS)}"
+            )
         kwargs: Dict[str, Any] = {}
         for key in ("loss", "dup", "reorder", "reorder_extra", "flap_down"):
             if key in spec:
@@ -109,6 +135,58 @@ class NetemTransport(Transport):
             "netem_reordered": 0,
             "netem_flaps": 0,
         }
+        #: Timeline of discrete fault transitions (flaps, forced edge
+        #: state, reconfigurations) — mono+wall stamped so the obs layer
+        #: can correlate them with message-latency spikes.
+        self.fault_events: List[Dict[str, Any]] = []
+
+    def _log_fault(self, action: str, **detail: Any) -> None:
+        self.fault_events.append(
+            {"mono": time.monotonic(), "t": time.time(), "action": action, **detail}
+        )
+
+    # -- live chaos hooks ----------------------------------------------------
+
+    def force_down(self, u: ProcId, v: ProcId) -> None:
+        """Take one undirected edge down until :meth:`force_up` — the
+        scenario driver's partition/flap primitive."""
+        edge = normalized_edge(u, v)
+        if edge not in self._down:
+            self._down.add(edge)
+            self.fault_stats["netem_flaps"] += 1
+            self._log_fault("link_down", edge=list(edge))
+
+    def force_up(self, u: ProcId, v: ProcId) -> None:
+        """Bring a forced-down edge back (statically blocked edges stay
+        down: the config is the floor, chaos only adds on top)."""
+        edge = normalized_edge(u, v)
+        if edge in self.config.blocked_edges:
+            return
+        if edge in self._down:
+            self._down.discard(edge)
+            self._log_fault("link_up", edge=list(edge))
+
+    def reconfigure(self, config: NetemConfig) -> None:
+        """Swap the fault knobs mid-run (scenario ``netem`` action).
+
+        Loss/dup/reorder/latency draws pick up the new values on the next
+        record; the periodic flap task re-reads ``self.config`` each cycle.
+        Statically blocked edges of the old/new configs are re-based while
+        chaos-forced edges are left alone.
+        """
+        old = self.config
+        self.config = config
+        for edge in old.blocked_edges - config.blocked_edges:
+            self._down.discard(edge)
+        for edge in config.blocked_edges - old.blocked_edges:
+            self._down.add(edge)
+        self._log_fault(
+            "netem_change",
+            loss=config.loss,
+            dup=config.dup,
+            reorder=config.reorder,
+            latency=list(config.latency),
+        )
 
     # Nodes bind to the decorator; forward inboxes to the base so its
     # receive path (TCP servers) can still dispatch.
@@ -193,11 +271,13 @@ class NetemTransport(Transport):
 
     async def _flap(self) -> None:
         """Every ``flap_period`` seconds take one random (non-statically-
-        blocked) edge down for ``flap_down`` seconds."""
-        cfg = self.config
+        blocked) edge down for ``flap_down`` seconds.  ``self.config`` is
+        re-read each cycle so :meth:`reconfigure` changes take effect."""
         try:
             while True:
-                await asyncio.sleep(cfg.flap_period)  # type: ignore[arg-type]
+                cfg = self.config
+                await asyncio.sleep(cfg.flap_period or 0.05)
+                cfg = self.config
                 candidates = [
                     e for e in self.net.edges if e not in cfg.blocked_edges
                 ]
@@ -206,7 +286,9 @@ class NetemTransport(Transport):
                 edge = self._rng.choice(candidates)
                 self._down.add(edge)
                 self.fault_stats["netem_flaps"] += 1
+                self._log_fault("flap_down", edge=list(edge))
                 await asyncio.sleep(cfg.flap_down)
                 self._down.discard(edge)
+                self._log_fault("flap_up", edge=list(edge))
         except asyncio.CancelledError:
             pass

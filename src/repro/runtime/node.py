@@ -238,6 +238,7 @@ class RuntimeNode:
         self._event_order = 0
         self._next_uid = pid + 1  # stride n keeps uids globally unique
         self._stopping = False
+        self._paused = False
         #: Plain counters; the cluster publishes them into the obs registry.
         self.counters: Dict[str, int] = {
             "generated": 0,
@@ -271,6 +272,24 @@ class RuntimeNode:
     def stop(self) -> None:
         """Ask the run loop to exit at the next heartbeat."""
         self._stopping = True
+
+    def pause(self) -> None:
+        """Freeze the run loop (scenario ``crash`` action): no rules fire,
+        no timers run, nothing is sent or received until :meth:`resume`.
+
+        This is the *fail-pause* crash model: lane sequence numbers and
+        release watermarks survive, so the hop protocol's exactly-once
+        bookkeeping stays intact across the outage — peers simply see an
+        unresponsive neighbor and retransmit into its inbox, which drains
+        on resume.  (A fail-recover model with fresh state would need
+        stable-storage lane state; the paper's fault model corrupts
+        *routing* variables, never the forwarding buffers.)
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Thaw a :meth:`pause`-d node; the backlog drains immediately."""
+        self._paused = False
 
     def is_idle(self) -> bool:
         """True iff no queue, lane or inbox item holds anything."""
@@ -306,6 +325,10 @@ class RuntimeNode:
         out: List[Tuple[ProcId, Dict[str, Any]]] = []
         try:
             while not self._stopping:
+                if self._paused:
+                    # Crashed (fail-pause): hold all state, touch nothing.
+                    await asyncio.sleep(tick)
+                    continue
                 # Drain the inbox *before* firing rules and timers: an ACK
                 # that arrived while this task was starved of the event
                 # loop must cancel a retransmission, not race it.

@@ -1,0 +1,149 @@
+"""Lowering a scenario onto the live-runtime wall clock.
+
+The schedule's abstract time units become seconds from run start
+(``clock.runtime_s_per_unit``); each event becomes one chaos dict on
+:attr:`~repro.runtime.cluster.ClusterSpec.chaos`, driven by a per-event
+asyncio task inside the cluster (:mod:`repro.runtime.cluster`):
+
+* ``link_flap`` / ``partition`` — :class:`NetemTransport` edges forced
+  down and back up (the transport logs every transition, mono-stamped);
+* ``crash`` — :meth:`RuntimeNode.pause`/``resume`` (fail-pause: lane
+  state survives, peers retransmit into the frozen inbox);
+* ``flood`` — live ``submit`` calls on the source node (counted into the
+  conformance oracle's expected-generated total);
+* ``netem`` — :meth:`NetemTransport.reconfigure` for the window.
+
+The conformance oracle then re-verifies exactly-once + per-pair FIFO
+delivery over the whole faulted run — that verdict *is* the scenario's
+primary pass criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.scenario.result import ScenarioResult, evaluate_pass
+from repro.scenario.spec import ScenarioSpec
+
+
+def lower_runtime_schedule(spec: ScenarioSpec) -> List[Dict[str, Any]]:
+    """The schedule as wall-clock chaos dicts for ``ClusterSpec.chaos``."""
+    chaos: List[Dict[str, Any]] = []
+    for event in spec.schedule:
+        lowered: Dict[str, Any] = {
+            "action": event.action,
+            "t0": round(spec.seconds_at(event.at), 6),
+        }
+        if event.until is not None:
+            lowered["t1"] = round(spec.seconds_at(event.until), 6)
+        if event.action == "link_flap":
+            lowered["period"] = spec.seconds_at(event.kwargs["period"])
+            lowered["down"] = spec.seconds_at(event.kwargs["down"])
+            if event.kwargs.get("edges") is not None:
+                lowered["edges"] = [list(e) for e in event.kwargs["edges"]]
+            lowered["seed"] = spec.seed * 1_000_003 + event.index
+        elif event.action == "partition":
+            lowered["edges"] = [list(e) for e in event.kwargs["edges"]]
+        elif event.action == "crash":
+            lowered["node"] = event.kwargs["node"]
+        elif event.action == "flood":
+            lowered.update(
+                source=event.kwargs["source"],
+                dest=event.kwargs["dest"],
+                count=event.kwargs["count"],
+                payload=event.kwargs["payload"],
+            )
+        elif event.action == "netem":
+            lowered["config"] = dict(event.kwargs)
+        else:  # pragma: no cover - spec validation rejects these
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"action {event.action!r} cannot lower to the runtime"
+            )
+        chaos.append(lowered)
+    return chaos
+
+
+def build_cluster_spec(spec: ScenarioSpec):
+    """The :class:`~repro.runtime.cluster.ClusterSpec` for this scenario."""
+    from repro.runtime.cluster import ClusterSpec
+
+    extras = spec.runtime_extras
+    return ClusterSpec(
+        topology=dict(spec.topology),
+        messages=spec.messages(),
+        seed=spec.seed,
+        protocol=spec.protocol,
+        transport=str(extras.get("transport", "local")),
+        procs=int(extras.get("procs", 1)),
+        workload=spec.workload["name"],
+        netem=extras.get("netem"),
+        deadline=float(spec.budgets["wall_s"]),
+        drain_grace=float(extras.get("drain_grace", 1.0)),
+        port_base=int(extras.get("port_base", 0)),
+        tick=float(extras.get("tick", 0.005)),
+        window=int(extras.get("window", 32)),
+        max_batch=int(extras.get("max_batch", 64)),
+        wire_version=int(extras.get("wire_version", 2)),
+        chaos=lower_runtime_schedule(spec),
+    )
+
+
+def run_runtime_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Compile and run one scenario on the live runtime."""
+    from repro.runtime.cluster import run_cluster
+
+    cluster_spec = build_cluster_spec(spec)
+    result = run_cluster(cluster_spec)
+    report = result.report
+
+    latencies = sorted(
+        _message_latencies(result.events)
+    )
+    p99 = (
+        latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+        if latencies
+        else None
+    )
+    metrics: Dict[str, Any] = {
+        "generated": report.generated,
+        "delivered": report.delivered,
+        "duplicates": report.duplicates,
+        "expected": spec.messages() + spec.flood_total(),
+        "elapsed_s": round(result.elapsed_s, 3),
+        "faults_injected": len(result.fault_events),
+    }
+    if p99 is not None:
+        metrics["latency_p99_s"] = round(p99, 4)
+    failures = evaluate_pass(spec.pass_criteria, metrics)
+    for violation in report.violations + report.sequence_violations:
+        failures.append(f"conformance: {violation}")
+    for error in result.errors:
+        failures.append(f"runtime: {error}")
+    if result.interrupted:
+        failures.append("runtime: interrupted")
+    return ScenarioResult(
+        name=spec.name,
+        target="runtime",
+        protocol=spec.protocol,
+        ok=not failures,
+        failures=failures,
+        metrics=metrics,
+        fault_events=list(result.fault_events),
+        obs_rows=result.obs_rows(),
+    )
+
+
+def _message_latencies(events) -> List[float]:
+    """Generate→deliver durations in the monotonic clock domain."""
+    generated: Dict[int, float] = {}
+    out: List[float] = []
+    for event in events:
+        if event.kind == "generated" and event.mono:
+            generated[event.uid] = event.mono
+        elif event.kind == "delivered" and event.mono:
+            start = generated.get(event.uid)
+            if start is not None:
+                out.append(max(0.0, event.mono - start))
+    return out

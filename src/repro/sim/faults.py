@@ -43,6 +43,13 @@ class RoutingFaultInjector:
     stop_after:
         No injections at or beyond this step — faults must eventually
         stop for the delivery guarantee to have a deadline.
+    obs:
+        Optional :class:`repro.obs.MetricsRegistry`; every injection bumps
+        the ``faults_injected_total`` counter.
+    tracer:
+        Optional :class:`repro.obs.MessageTracer`; every injection is
+        stamped into the lifecycle timeline as a ``fault_event`` row, so
+        exported artifacts show faults interleaved with message hops.
     """
 
     def __init__(
@@ -54,6 +61,8 @@ class RoutingFaultInjector:
         fraction: float = 0.5,
         seed: int = 0,
         stop_after: Optional[int] = None,
+        obs=None,
+        tracer=None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
@@ -63,6 +72,8 @@ class RoutingFaultInjector:
         self._fraction = fraction
         self._rng = random.Random(seed)
         self._stop_after = stop_after
+        self._obs = obs
+        self._tracer = tracer
         #: Steps at which an injection actually happened.
         self.injections: List[int] = []
 
@@ -77,12 +88,22 @@ class RoutingFaultInjector:
         )
         if not due:
             return False
-        corrupt_random(
+        hits = corrupt_random(
             self._routing,
             seed=self._rng.randrange(1 << 30),
             fraction=self._fraction,
         )
         self.injections.append(step)
+        if self._obs is not None:
+            self._obs.counter(
+                "faults_injected_total", action="corrupt_routing"
+            ).inc()
+        if self._tracer is not None:
+            self._tracer.record_fault(
+                "corrupt_routing",
+                {"fraction": self._fraction, "entries_hit": hits},
+                step=step,
+            )
         return True
 
     def drive(self, simulation, max_steps: int, halt=None) -> bool:

@@ -64,20 +64,62 @@ _DAEMONS = {
 #: Workload generators that take the processor count as first argument.
 _N_FIRST = {"uniform", "permutation", "hotspot", "burst"}
 
+#: Every key the spec schema understands, per section.  ``label`` is
+#: sweep-file metadata (echoed into rows, never interpreted here).
+_TOP_KEYS = frozenset(
+    {
+        "topology", "workload", "routing", "garbage",
+        "scramble_choice_queues", "daemon", "protocol", "protocol_options",
+        "ssmfp", "seed", "ledger_strict", "label",
+    }
+)
+_TOPOLOGY_KEYS = frozenset({"name", "kwargs"})
+_WORKLOAD_KEYS = frozenset({"name", "kwargs"})
+_ROUTING_KEYS = frozenset({"mode", "corruption"})
+_CORRUPTION_KEYS = frozenset({"kind", "fraction", "seed"})
+_GARBAGE_KEYS = frozenset({"fraction", "seed"})
+_DAEMON_KEYS = frozenset({"name", "kwargs"})
 
-def simulation_from_spec(spec: Dict[str, Any]) -> Simulation:
+
+def _reject_unknown(section: str, mapping: Any, allowed: frozenset) -> None:
+    """Fail loudly on unknown keys: a typo must never silently become a
+    no-op knob (the netem layer has the same contract)."""
+    if not isinstance(mapping, dict):
+        raise ConfigurationError(
+            f"spec section {section!r} must be an object, "
+            f"got {type(mapping).__name__}"
+        )
+    unknown = sorted(set(mapping) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in spec section {section!r}; "
+            f"valid keys: {sorted(allowed)}"
+        )
+
+
+def simulation_from_spec(
+    spec: Dict[str, Any], obs=None, tracer=None
+) -> Simulation:
     """Build a :class:`Simulation` from a declarative spec (see module
-    docstring for the schema)."""
+    docstring for the schema).  ``obs``/``tracer`` attach observability
+    exactly as in :func:`~repro.sim.runner.build_simulation`."""
+    _reject_unknown("<top level>", spec, _TOP_KEYS)
     if "topology" not in spec:
         raise ConfigurationError("spec needs a 'topology' section")
     seed = int(spec.get("seed", 0))
 
     topo = spec["topology"]
+    _reject_unknown("topology", topo, _TOPOLOGY_KEYS)
+    if "name" not in topo:
+        raise ConfigurationError("spec section 'topology' needs a 'name'")
     net = topology_by_name(topo["name"], **topo.get("kwargs", {}))
 
     workload = None
     if "workload" in spec:
         wl = spec["workload"]
+        _reject_unknown("workload", wl, _WORKLOAD_KEYS)
+        if "name" not in wl:
+            raise ConfigurationError("spec section 'workload' needs a 'name'")
         name = wl["name"]
         try:
             builder = _WORKLOADS[name]
@@ -93,20 +135,26 @@ def simulation_from_spec(spec: Dict[str, Any]) -> Simulation:
             workload = builder(**kwargs)
 
     routing = spec.get("routing", {})
+    _reject_unknown("routing", routing, _ROUTING_KEYS)
     routing_mode = routing.get("mode", "selfstab")
     corruption = routing.get("corruption")
     if corruption is not None:
+        _reject_unknown("routing.corruption", corruption, _CORRUPTION_KEYS)
         corruption = dict(corruption)
         corruption.setdefault("seed", seed)
 
     garbage = spec.get("garbage")
     if garbage is not None:
+        _reject_unknown("garbage", garbage, _GARBAGE_KEYS)
         garbage = dict(garbage)
         garbage.setdefault("seed", seed)
 
     daemon = None
     if "daemon" in spec:
         d = spec["daemon"]
+        _reject_unknown("daemon", d, _DAEMON_KEYS)
+        if "name" not in d:
+            raise ConfigurationError("spec section 'daemon' needs a 'name'")
         try:
             factory = _DAEMONS[d["name"]]
         except KeyError:
@@ -130,4 +178,6 @@ def simulation_from_spec(spec: Dict[str, Any]) -> Simulation:
         protocol=str(spec.get("protocol", "ssmfp")),
         protocol_options=spec.get("protocol_options"),
         ssmfp_options=spec.get("ssmfp"),
+        obs=obs,
+        tracer=tracer,
     )

@@ -171,6 +171,17 @@ class Simulator:
         return self._stack
 
     @property
+    def daemon(self) -> Daemon:
+        """The scheduling adversary driving selections."""
+        return self._daemon
+
+    @daemon.setter
+    def daemon(self, daemon: Daemon) -> None:
+        # Swappable mid-run: chaos drivers wrap the daemon to mask crashed
+        # processors, and the enabled-set machinery is daemon-independent.
+        self._daemon = daemon
+
+    @property
     def step_count(self) -> int:
         """Number of atomic steps executed so far."""
         return self._step

@@ -1,0 +1,139 @@
+"""Tests for ``repro scenario run|campaign``: exit codes and errors."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_artifact
+
+SPECS_DIR = pathlib.Path(__file__).parent.parent / "specs"
+
+GOOD = {
+    "name": "cli-t",
+    "target": "simulate",
+    "protocol": "ssmfp",
+    "seed": 3,
+    "topology": {"name": "ring", "kwargs": {"n": 5}},
+    "workload": {"name": "uniform", "kwargs": {"count": 5}},
+    "sim": {"routing": {"mode": "selfstab"}},
+    "schedule": [{"at": 0.5, "action": "corrupt_routing", "fraction": 0.4}],
+}
+
+
+def write_spec(tmp_path, data, name="s.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestScenarioRun:
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        code = main(["scenario", "run", write_spec(tmp_path, GOOD)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out and "faults=1" in out
+
+    def test_fail_exits_one(self, tmp_path, capsys):
+        data = {**GOOD, "budgets": {"max_steps": 4}}
+        code = main(["scenario", "run", write_spec(tmp_path, data)])
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        code = main(["scenario", "run", "/nope/missing.toml"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_spec_exits_two_no_traceback(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text("name = [unterminated")
+        code = main(["scenario", "run", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_key_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["scenario", "run", write_spec(tmp_path, {**GOOD, "bogus": 1})]
+        )
+        assert code == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_overlapping_schedule_exits_two(self, tmp_path, capsys):
+        data = {
+            **GOOD,
+            "schedule": [
+                {"at": 0, "until": 2, "action": "crash", "node": 1},
+                {"at": 1, "until": 3, "action": "crash", "node": 1},
+            ],
+        }
+        code = main(["scenario", "run", write_spec(tmp_path, data)])
+        assert code == 2
+        assert "overlap" in capsys.readouterr().err
+
+    def test_target_override_and_jsonl(self, tmp_path, capsys):
+        data = {
+            **GOOD,
+            "sim": {},
+            "clock": {"runtime_s_per_unit": 0.1},
+            "schedule": [{"at": 0.3, "action": "flood", "source": 0,
+                          "dest": 2, "count": 2}],
+        }
+        out = tmp_path / "run.jsonl"
+        code = main(
+            ["scenario", "run", write_spec(tmp_path, data),
+             "--target", "runtime", "--smoke", "--jsonl", str(out)]
+        )
+        assert code == 0
+        art = read_artifact(out)
+        assert art.meta["target"] == "runtime"
+        assert art.meta["verdict"] == "PASS"
+        assert art.rows_of_kind("fault_event")
+
+    def test_shipped_toml_spec_smoke(self, capsys):
+        code = main(
+            ["scenario", "run",
+             str(SPECS_DIR / "flapping_ring_soak.toml"), "--smoke"]
+        )
+        assert code == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+
+class TestScenarioCampaign:
+    def test_campaign_pass_exits_zero(self, tmp_path, capsys):
+        data = {**GOOD, "matrix": {"protocol": ["ssmfp", "ssmfp2"]}}
+        summary = tmp_path / "c.jsonl"
+        code = main(
+            ["scenario", "campaign", write_spec(tmp_path, data),
+             "--jsonl", str(summary), "--artifact-dir", str(tmp_path / "a")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 PASS" in out
+        assert read_artifact(summary).meta["passed"] == 2
+
+    def test_campaign_fail_exits_one(self, tmp_path, capsys):
+        data = {**GOOD, "budgets": {"max_steps": 4}}
+        code = main(["scenario", "campaign", write_spec(tmp_path, data)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_campaign_bad_spec_exits_two(self, tmp_path, capsys):
+        data = {**GOOD, "matrix": {"protocol": "ssmfp"}}
+        code = main(["scenario", "campaign", write_spec(tmp_path, data)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_campaign_workers_smoke(self, tmp_path, capsys):
+        code = main(
+            ["scenario", "campaign",
+             str(SPECS_DIR / "corruption_burst_sweep.toml"),
+             "--workers", "2", "--smoke"]
+        )
+        assert code == 0
+        assert "8/8 PASS" in capsys.readouterr().out

@@ -8,6 +8,8 @@ record travels as its own single-record frame.
 
 import asyncio
 
+import pytest
+
 from repro.network.topologies import line_network
 from repro.runtime.netem import NetemConfig, NetemTransport
 from repro.runtime.transport import LocalTransport
@@ -50,6 +52,16 @@ class TestNetemConfig:
         assert cfg.latency == (0.001, 0.002)
         assert cfg.flap_period == 0.5
         assert cfg.blocked_edges == frozenset({normalized_edge(0, 1)})
+
+    def test_from_spec_rejects_unknown_keys(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as exc_info:
+            NetemConfig.from_spec({"loss": 0.1, "lossy": 0.2, "delya": 1})
+        message = str(exc_info.value)
+        assert "unknown netem key" in message
+        assert "'delya', 'lossy'" in message  # names the offenders...
+        assert "latency" in message  # ...and lists the valid vocabulary
 
 
 class TestNetemTransport:

@@ -1,0 +1,150 @@
+"""The campaign driver: matrix expansion, repeats, artifacts, parallelism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import read_artifact
+from repro.scenario import ScenarioSpec, expand_matrix, run_campaign
+
+BASE = {
+    "name": "camp",
+    "target": "simulate",
+    "protocol": "ssmfp",
+    "seed": 20,
+    "topology": {"name": "ring", "kwargs": {"n": 5}},
+    "workload": {"name": "uniform", "kwargs": {"count": 6}},
+    "sim": {"routing": {"mode": "selfstab"}},
+    "schedule": [{"at": 0.5, "action": "corrupt_routing", "fraction": 0.4}],
+}
+
+
+def spec_data(**overrides):
+    data = json.loads(json.dumps(BASE))
+    data.update(overrides)
+    return data
+
+
+class TestExpansion:
+    def test_no_matrix_single_run(self):
+        runs = expand_matrix(spec_data())
+        assert len(runs) == 1
+        assert runs[0][0] == "camp"
+
+    def test_matrix_product_with_labels(self):
+        runs = expand_matrix(
+            spec_data(matrix={"protocol": ["ssmfp", "ssmfp2"],
+                              "topology.kwargs.n": [5, 7]})
+        )
+        assert len(runs) == 4
+        labels = [label for label, _ in runs]
+        assert labels[0] == "camp[protocol=ssmfp,n=5]"
+        assert len(set(labels)) == 4
+        protocols = {data["protocol"] for _, data in runs}
+        sizes = {data["topology"]["kwargs"]["n"] for _, data in runs}
+        assert protocols == {"ssmfp", "ssmfp2"} and sizes == {5, 7}
+
+    def test_repeat_offsets_seeds(self):
+        runs = expand_matrix(spec_data(repeat=3))
+        assert [data["seed"] for _, data in runs] == [20, 21, 22]
+        assert [label for label, _ in runs] == [
+            "camp[rep=0]", "camp[rep=1]", "camp[rep=2]"
+        ]
+        assert all(data["repeat"] == 1 for _, data in runs)
+
+    def test_bad_axis_value_fails_with_combo_name(self):
+        with pytest.raises(ConfigurationError, match=r"camp\[n=3\]"):
+            expand_matrix(
+                spec_data(
+                    matrix={"topology.kwargs.n": [5, 3]},
+                    schedule=[{"at": 0, "until": 1, "action": "crash",
+                               "node": 4}],
+                )
+            )
+
+    def test_expanded_runs_are_valid_specs(self):
+        for _, data in expand_matrix(spec_data(matrix={"seed": [1, 2]})):
+            ScenarioSpec.from_dict(data)
+
+
+class TestCampaign:
+    def test_serial_campaign_passes(self, tmp_path):
+        summary = tmp_path / "c.jsonl"
+        campaign = run_campaign(
+            spec_data(matrix={"protocol": ["ssmfp", "ssmfp2"]}),
+            jsonl_path=str(summary),
+        )
+        assert campaign.ok
+        assert len(campaign.rows) == 2
+        assert all(row["verdict"] == "PASS" for row in campaign.rows)
+        art = read_artifact(summary)
+        assert len(art.rows) == 2
+        assert all(r["kind"] == "scenario_row" for r in art.rows)
+        assert art.meta["passed"] == 2
+
+    def test_workers_match_serial(self):
+        data = spec_data(matrix={"protocol": ["ssmfp", "ssmfp2"]}, repeat=2)
+        serial = run_campaign(data)
+        pooled = run_campaign(data, workers=3)
+
+        def identity(rows):
+            return [
+                {k: r.get(k) for k in ("label", "verdict", "generated",
+                                       "delivered", "faults_injected")}
+                for r in rows
+            ]
+
+        assert identity(serial.rows) == identity(pooled.rows)
+
+    def test_per_run_artifacts_carry_fault_timeline(self, tmp_path):
+        campaign = run_campaign(
+            spec_data(matrix={"protocol": ["ssmfp", "ssmfp2"]}),
+            artifact_dir=str(tmp_path),
+        )
+        assert campaign.ok
+        for row in campaign.rows:
+            art = read_artifact(row["artifact"])
+            assert art.meta["verdict"] == "PASS"
+            assert art.rows_of_kind("fault_event")
+            assert art.rows_of_kind("metric")
+
+    def test_failing_run_yields_fail_row_not_exception(self):
+        campaign = run_campaign(
+            spec_data(
+                budgets={"max_steps": 4},
+                **{"pass": {"deliver_all": True}},
+            )
+        )
+        assert not campaign.ok
+        assert campaign.rows[0]["verdict"] == "FAIL"
+        assert "failures" in campaign.rows[0]
+        assert "deliver_all" in campaign.summary()
+
+    def test_target_override_applies_to_all_runs(self):
+        campaign = run_campaign(
+            spec_data(
+                schedule=[{"at": 0.2, "action": "flood", "source": 0,
+                           "dest": 2, "count": 2}],
+                sim={},
+                clock={"runtime_s_per_unit": 0.1},
+            ),
+            target="runtime",
+            smoke=True,
+        )
+        assert campaign.ok, campaign.summary()
+        assert campaign.rows[0]["target"] == "runtime"
+
+    def test_smoke_caps_workload(self):
+        campaign = run_campaign(
+            spec_data(workload={"name": "uniform", "kwargs": {"count": 400}}),
+            smoke=True,
+        )
+        assert campaign.ok
+        assert campaign.rows[0]["generated"] <= 24
+
+    def test_invalid_base_spec_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            run_campaign(spec_data(bogus=1))

@@ -1,0 +1,141 @@
+"""The runtime scenario compiler: chaos over the live asyncio cluster."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import ScenarioSpec, run_runtime_scenario
+from repro.scenario.runtimedriver import build_cluster_spec, lower_runtime_schedule
+
+BASE = {
+    "name": "rt-t",
+    "target": "runtime",
+    "protocol": "ssmfp",
+    "seed": 5,
+    "topology": {"name": "ring", "kwargs": {"n": 4}},
+    "workload": {"name": "uniform", "kwargs": {"count": 8}},
+    "clock": {"runtime_s_per_unit": 0.1},
+    "budgets": {"wall_s": 30.0},
+    "schedule": [],
+}
+
+
+def spec_data(**overrides):
+    data = json.loads(json.dumps(BASE))
+    data.update(overrides)
+    return data
+
+
+def spec_of(**overrides):
+    return ScenarioSpec.from_dict(spec_data(**overrides))
+
+
+class TestLowering:
+    def test_units_become_seconds(self):
+        spec = spec_of(
+            schedule=[
+                {"at": 2.0, "until": 4.0, "action": "crash", "node": 1},
+                {"at": 5.0, "action": "flood", "source": 0, "dest": 2,
+                 "count": 3},
+            ]
+        )
+        chaos = lower_runtime_schedule(spec)
+        assert chaos[0] == {"action": "crash", "t0": 0.2, "t1": 0.4, "node": 1}
+        assert chaos[1]["t0"] == 0.5
+        assert chaos[1]["count"] == 3
+
+    def test_cluster_spec_carries_chaos_and_deadline(self):
+        spec = spec_of(
+            schedule=[{"at": 1.0, "until": 2.0, "action": "partition",
+                       "edges": [[0, 1]]}],
+            runtime={"window": 8},
+        )
+        cluster = build_cluster_spec(spec)
+        assert cluster.chaos and cluster.chaos[0]["action"] == "partition"
+        assert cluster.deadline == 30.0
+        assert cluster.window == 8
+        assert cluster.messages == 8
+
+    def test_chaos_with_multiple_procs_rejected(self):
+        from repro.runtime.cluster import run_cluster
+
+        spec = spec_of(
+            schedule=[{"at": 0.5, "until": 1.0, "action": "crash", "node": 1}],
+            runtime={"procs": 2, "transport": "tcp"},
+        )
+        with pytest.raises(ConfigurationError, match="procs"):
+            run_cluster(build_cluster_spec(spec))
+
+
+class TestExecution:
+    def test_empty_schedule_clean_pass(self):
+        result = run_runtime_scenario(spec_of())
+        assert result.ok, result.failures
+        assert result.metrics["delivered"] == 8
+        assert result.fault_events == []
+
+    def test_crash_and_flood_conformant(self):
+        result = run_runtime_scenario(
+            spec_of(
+                schedule=[
+                    {"at": 0.5, "until": 1.5, "action": "crash", "node": 2},
+                    {"at": 1.0, "action": "flood", "source": 0, "dest": 1,
+                     "count": 3, "payload": "dup"},
+                ]
+            )
+        )
+        assert result.ok, result.failures
+        assert result.metrics["delivered"] == 8 + 3
+        actions = [e["action"] for e in result.fault_events]
+        assert actions.count("crash") == 1
+        assert actions.count("restart") == 1
+        assert actions.count("flood") == 1
+
+    def test_partition_heals_and_delivers(self):
+        result = run_runtime_scenario(
+            spec_of(
+                schedule=[{"at": 0.3, "until": 1.0, "action": "partition",
+                           "edges": [[0, 1]]}]
+            )
+        )
+        assert result.ok, result.failures
+        downs = [e for e in result.fault_events if e["action"] == "link_down"]
+        ups = [e for e in result.fault_events if e["action"] == "link_up"]
+        assert len(downs) == 1 and len(ups) == 1
+        assert downs[0]["mono"] < ups[0]["mono"]
+
+    def test_netem_change_reverts_after_window(self):
+        result = run_runtime_scenario(
+            spec_of(
+                schedule=[{"at": 0.3, "until": 1.0, "action": "netem",
+                           "loss": 0.2}]
+            )
+        )
+        assert result.ok, result.failures
+        changes = [
+            e for e in result.fault_events if e["action"] == "netem_change"
+        ]
+        assert len(changes) == 2
+        assert changes[0]["loss"] == 0.2
+        assert changes[1]["loss"] == 0.0
+
+    def test_fault_events_in_obs_rows_with_counter(self):
+        result = run_runtime_scenario(
+            spec_of(
+                schedule=[{"at": 0.3, "until": 0.8, "action": "crash",
+                           "node": 1}]
+            )
+        )
+        fault_rows = [
+            r for r in result.obs_rows if r.get("kind") == "fault_event"
+        ]
+        assert {r["action"] for r in fault_rows} == {"crash", "restart"}
+        totals = [
+            r for r in result.obs_rows
+            if r.get("kind") == "metric"
+            and r.get("metric") == "faults_injected_total"
+        ]
+        assert totals and totals[0]["value"] == len(fault_rows)

@@ -74,6 +74,30 @@ class TestSimulationFromSpec:
     def test_spec_is_json_serializable(self):
         json.dumps(basic_spec())
 
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            simulation_from_spec(basic_spec(typo_section={}))
+
+    @pytest.mark.parametrize(
+        "section, value",
+        [
+            ("topology", {"name": "ring", "kwargs": {"n": 5}, "size": 5}),
+            ("workload", {"name": "uniform", "kwarg": {}}),
+            ("routing", {"mode": "selfstab", "corrupt": {}}),
+            ("routing", {"mode": "selfstab",
+                         "corruption": {"kind": "random", "frac": 0.5}}),
+            ("garbage", {"fraction": 0.2, "flavor": "worst"}),
+            ("daemon", {"name": "central", "seed": 3}),
+        ],
+    )
+    def test_unknown_section_keys_rejected(self, section, value):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            simulation_from_spec(basic_spec(**{section: value}))
+
+    def test_section_must_be_mapping(self):
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            simulation_from_spec(basic_spec(garbage=0.5))
+
 
 class TestRunRecords:
     def test_record_and_verify_roundtrip(self):
